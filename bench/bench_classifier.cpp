@@ -1,0 +1,47 @@
+// Experiments E7 + E8: the decision procedure (Theorems 8 + 9) over the
+// validation catalog — verdicts, type-space sizes, and decision cost.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "decide/classifier.hpp"
+
+namespace {
+
+using namespace lclpath;
+
+void ClassifyCatalogEntry(benchmark::State& state) {
+  const auto entries = catalog::validation_catalog();
+  const CatalogEntry& entry = entries.at(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const ClassifiedProblem result = classify(entry.problem);
+    benchmark::DoNotOptimize(result.complexity());
+  }
+  const ClassifiedProblem result = classify(entry.problem);
+  state.SetLabel(entry.problem.name() + " -> " + to_string(result.complexity()) +
+                 " (expected " + to_string(entry.expected) + ", monoid " +
+                 std::to_string(result.monoid_size()) + ")");
+  state.counters["monoid"] = static_cast<double>(result.monoid_size());
+  state.counters["class"] = static_cast<double>(result.complexity());
+}
+BENCHMARK(ClassifyCatalogEntry)
+    ->DenseRange(0, static_cast<long>(lclpath::catalog::validation_catalog().size()) - 1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Table E7/E8: verdict per catalog problem.
+  std::printf("=== E7/E8: classifier verdicts (Theorems 8+9) ===\n");
+  std::printf("%-28s %-14s %-14s %8s\n", "problem", "expected", "decided", "monoid");
+  for (const auto& entry : lclpath::catalog::validation_catalog()) {
+    const auto result = lclpath::classify(entry.problem);
+    std::printf("%-28s %-14s %-14s %8zu\n", entry.problem.name().c_str(),
+                lclpath::to_string(entry.expected).c_str(),
+                lclpath::to_string(result.complexity()).c_str(), result.monoid_size());
+  }
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

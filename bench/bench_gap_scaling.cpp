@@ -1,0 +1,55 @@
+// Experiment E9: the three-regime separation. For one problem from each
+// class, report the synthesized algorithm's view radius ("rounds") across
+// n — the paper's O(1) / Theta(log* n) / Theta(n) landscape. Also times
+// one full simulated execution per regime at a moderate n.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "decide/classifier.hpp"
+
+namespace {
+
+using namespace lclpath;
+
+void SimulateRegime(benchmark::State& state) {
+  // 0 = constant, 1 = logstar, 2 = linear
+  const long regime = state.range(0);
+  const PairwiseProblem problem = regime == 0   ? catalog::constant_output()
+                                  : regime == 1 ? catalog::coloring(3)
+                                                : catalog::agreement();
+  const ClassifiedProblem result = classify(problem);
+  const auto algorithm = result.synthesize();
+  Rng rng(static_cast<std::uint64_t>(regime) + 11);
+  // Keep n moderate so the O(n^2)-ish simulation cost stays benchable.
+  const std::size_t n = regime == 2 ? 4096 : 2 * algorithm->radius(1 << 20) + 33;
+  Instance instance = random_instance(problem.topology(), n, problem.num_inputs(), rng);
+  for (auto _ : state) {
+    const auto sim = simulate(*algorithm, problem, instance);
+    if (!sim.verdict.ok) state.SkipWithError("invalid output");
+    benchmark::DoNotOptimize(sim.outputs);
+  }
+  state.SetLabel(problem.name() + " n=" + std::to_string(n) +
+                 " radius=" + std::to_string(algorithm->radius(n)));
+}
+BENCHMARK(SimulateRegime)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lclpath;
+  std::printf("=== E9: rounds (view radius) vs n for the three regimes ===\n");
+  const auto constant = classify(catalog::constant_output()).synthesize();
+  const auto logstar = classify(catalog::coloring(3)).synthesize();
+  const auto linear = classify(catalog::agreement()).synthesize();
+  std::printf("%12s %14s %14s %14s\n", "n", "O(1) rounds", "log* rounds", "Theta(n) rounds");
+  for (std::size_t n : {1u << 10, 1u << 12, 1u << 14, 1u << 16, 1u << 18, 1u << 20}) {
+    std::printf("%12u %14zu %14zu %14zu\n", n, constant->radius(n), logstar->radius(n),
+                linear->radius(n));
+  }
+  std::printf("(log*(2^64) = 5: the log* term hides inside the constant; the shape\n"
+              " to check is constant-vs-constant-vs-linear, as in the paper.)\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

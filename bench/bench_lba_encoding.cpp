@@ -1,0 +1,68 @@
+// Experiment E1 (Figure 1 + Section 3.3): encoding LBA executions as good
+// inputs and solving Pi_MB with the T' = 2 + (B+1)T algorithm.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "hardness/solver.hpp"
+#include "lba/machines.hpp"
+
+namespace {
+
+using namespace lclpath;
+using namespace lclpath::hardness;
+
+void EncodeGoodInput(benchmark::State& state) {
+  const auto b = static_cast<std::size_t>(state.range(0));
+  const auto machine = lba::unary_counter();
+  const auto run = lba::run(machine, b);
+  const std::size_t n = encoding_length(b, run.steps) + 8;
+  for (auto _ : state) {
+    auto input = good_input(machine, b, Secret::kA, run.steps, n);
+    benchmark::DoNotOptimize(input);
+  }
+  state.counters["T"] = static_cast<double>(run.steps);
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(EncodeGoodInput)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+void SolveGoodInput(benchmark::State& state) {
+  const auto b = static_cast<std::size_t>(state.range(0));
+  const auto machine = lba::unary_counter();
+  const auto run = lba::run(machine, b);
+  const PiProblem problem(machine, b);
+  const PiSolver solver(problem, run.steps);
+  const std::size_t n = encoding_length(b, run.steps) + 8;
+  const auto input = good_input(machine, b, Secret::kA, run.steps, n);
+  for (auto _ : state) {
+    auto output = solver.solve(input);
+    benchmark::DoNotOptimize(output);
+  }
+  state.counters["radius"] = static_cast<double>(solver.radius());
+}
+BENCHMARK(SolveGoodInput)->Arg(2)->Arg(3)->Arg(4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lclpath;
+  using namespace lclpath::hardness;
+  std::printf("=== E1: Pi_MB upper bound T' = 2+(B+1)T (unary counter) ===\n");
+  std::printf("%4s %8s %12s %12s %10s\n", "B", "T", "enc length", "radius T'", "verified");
+  for (std::size_t b : {2u, 3u, 4u, 5u}) {
+    const auto machine = lba::unary_counter();
+    const auto run = lba::run(machine, b);
+    const PiProblem problem(machine, b);
+    const PiSolver solver(problem, run.steps);
+    const std::size_t n = encoding_length(b, run.steps) + 8;
+    const auto input = good_input(machine, b, Secret::kB, run.steps, n);
+    const auto output = solver.solve(input);
+    const bool ok = problem.verify(input, output).ok;
+    std::printf("%4zu %8zu %12zu %12zu %10s\n", b, run.steps,
+                encoding_length(b, run.steps), solver.radius(), ok ? "yes" : "NO");
+  }
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Experiment E12 (Sections 3.7-3.8): the undirected/cycle lifts and the
+// tree encoding of input labels — construction sizes and round-trip cost.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/rng.hpp"
+#include "hardness/tree_encoding.hpp"
+#include "hardness/undirected.hpp"
+#include "lcl/catalog.hpp"
+
+namespace {
+
+using namespace lclpath;
+using namespace lclpath::hardness;
+
+void UndirectedLiftBuild(benchmark::State& state) {
+  const PairwiseProblem directed = catalog::agreement();
+  for (auto _ : state) {
+    auto lifted = lift_to_undirected(directed);
+    benchmark::DoNotOptimize(lifted.num_outputs());
+  }
+}
+BENCHMARK(UndirectedLiftBuild)->Unit(benchmark::kMicrosecond);
+
+void GStarRoundTrip(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  Word labels;
+  for (std::size_t v = 0; v < n; ++v) labels.push_back(static_cast<Label>(rng.next_below(5)));
+  for (auto _ : state) {
+    const GStar gstar = build_gstar(labels, 5);
+    auto recovered = recover_labels(gstar, 5);
+    if (!recovered || *recovered != labels) state.SkipWithError("round trip failed");
+    benchmark::DoNotOptimize(recovered);
+  }
+}
+BENCHMARK(GStarRoundTrip)->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lclpath;
+  using namespace lclpath::hardness;
+  std::printf("=== E12: lift sizes (Sections 3.7-3.8) ===\n");
+  const PairwiseProblem directed = catalog::agreement();
+  const PairwiseProblem undirected = lift_to_undirected(directed);
+  const PairwiseProblem cyclic =
+      lift_path_to_cycle(catalog::agreement(Topology::kDirectedPath));
+  std::printf("agreement:            %zu in / %zu out\n", directed.num_inputs(),
+              directed.num_outputs());
+  std::printf("undirected lift:      %zu in / %zu out (3x counters + 5 escapes)\n",
+              undirected.num_inputs(), undirected.num_outputs());
+  std::printf("path->cycle lift:     %zu in / %zu out (marks + S + X)\n",
+              cyclic.num_inputs(), cyclic.num_outputs());
+  const GStar gstar = build_gstar(Word{0, 1, 2, 3, 4}, 5);
+  std::printf("G* for 5 nodes over a 5-letter alphabet: %zu nodes, max degree 3\n",
+              gstar.graph.size());
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

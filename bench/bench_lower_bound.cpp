@@ -1,0 +1,108 @@
+// Experiment E3 (Section 3.4): the Omega(T'') lower bound, executed.
+// On good inputs the only valid outputs for encoding nodes are the
+// secret, so any algorithm must see p0 — we count, per position, how many
+// output labels survive the full-path feasibility DP.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "hardness/encoder.hpp"
+#include "hardness/pi_problem.hpp"
+#include "lba/machines.hpp"
+
+namespace {
+
+using namespace lclpath;
+using namespace lclpath::hardness;
+
+/// Feasible output labels per position on the given input (forward +
+/// backward DP over the full-edge verifier with the last-node rule).
+std::vector<std::size_t> feasible_counts(const PiProblem& problem,
+                                         const std::vector<InLabel>& input) {
+  const PiLabels& labels = problem.labels();
+  const std::size_t n = input.size();
+  const std::size_t num_out = labels.num_outputs();
+  std::vector<std::vector<char>> reach(n, std::vector<char>(num_out, 0));
+  for (Label o = 0; o < num_out; ++o) {
+    if (problem.node_ok(0, input[0], labels.decode_output(o), nullptr, nullptr)) {
+      reach[0][o] = 1;
+    }
+  }
+  for (std::size_t v = 1; v < n; ++v) {
+    for (Label o = 0; o < num_out; ++o) {
+      const OutLabel out = labels.decode_output(o);
+      for (Label p = 0; p < num_out && !reach[v][o]; ++p) {
+        if (!reach[v - 1][p]) continue;
+        const OutLabel pred = labels.decode_output(p);
+        if (problem.node_ok(v, input[v], out, &input[v - 1], &pred)) reach[v][o] = 1;
+      }
+    }
+  }
+  std::vector<std::vector<char>> feasible = reach;
+  for (Label o = 0; o < num_out; ++o) {
+    if (!problem.allowed_at_last(labels.decode_output(o))) feasible[n - 1][o] = 0;
+  }
+  for (std::size_t v = n - 1; v > 0; --v) {
+    for (Label p = 0; p < num_out; ++p) {
+      if (!feasible[v - 1][p]) continue;
+      bool extends = false;
+      const OutLabel pred = labels.decode_output(p);
+      for (Label o = 0; o < num_out && !extends; ++o) {
+        if (!feasible[v][o]) continue;
+        extends = problem.node_ok(v, input[v], labels.decode_output(o), &input[v - 1],
+                                  &pred);
+      }
+      if (!extends) feasible[v - 1][p] = 0;
+    }
+  }
+  std::vector<std::size_t> counts(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (Label o = 0; o < num_out; ++o) counts[v] += feasible[v][o] ? 1 : 0;
+  }
+  return counts;
+}
+
+void FeasibilityDp(benchmark::State& state) {
+  const auto b = static_cast<std::size_t>(state.range(0));
+  const auto machine = lba::unary_counter();
+  const auto run = lba::run(machine, b);
+  const PiProblem problem(machine, b);
+  const std::size_t n = encoding_length(b, run.steps) + 4;
+  const auto input = good_input(machine, b, Secret::kA, run.steps, n);
+  for (auto _ : state) {
+    auto counts = feasible_counts(problem, input);
+    benchmark::DoNotOptimize(counts);
+  }
+}
+BENCHMARK(FeasibilityDp)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lclpath;
+  using namespace lclpath::hardness;
+  std::printf("=== E3: lower bound — feasible outputs on good inputs ===\n");
+  std::printf("Claim (Section 3.4): every node encoding the execution is forced to\n");
+  std::printf("the secret; only Empty-padding nodes have any freedom.\n\n");
+  for (std::size_t b : {2u, 3u}) {
+    const auto machine = lba::unary_counter();
+    const auto run = lba::run(machine, b);
+    const PiProblem problem(machine, b);
+    const std::size_t n = encoding_length(b, run.steps) + 4;
+    const auto input = good_input(machine, b, Secret::kA, run.steps, n);
+    const auto counts = feasible_counts(problem, input);
+    std::size_t forced = 0, total_encoding = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (input[v].kind == InKind::kEmpty) continue;
+      ++total_encoding;
+      if (counts[v] == 1) ++forced;
+    }
+    std::printf("B=%zu: %zu / %zu encoding nodes have exactly one valid output\n", b,
+                forced, total_encoding);
+  }
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

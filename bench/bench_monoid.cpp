@@ -1,0 +1,85 @@
+// Experiment E10: the type machinery (Lemmas 12-15) — monoid sizes and
+// enumeration cost vs. alphabet sizes, plus pumping throughput.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "automata/pumping.hpp"
+#include "core/rng.hpp"
+#include "lcl/catalog.hpp"
+
+namespace {
+
+using namespace lclpath;
+
+/// Random pairwise problem with given alphabet sizes (fixed seed per size
+/// so runs are comparable).
+PairwiseProblem random_problem(std::size_t alpha, std::size_t beta, std::uint64_t seed) {
+  Rng rng(seed);
+  Alphabet in, out;
+  for (std::size_t i = 0; i < alpha; ++i) in.add("i" + std::to_string(i));
+  for (std::size_t o = 0; o < beta; ++o) out.add("o" + std::to_string(o));
+  PairwiseProblem p("rnd-a" + std::to_string(alpha) + "-b" + std::to_string(beta), in, out,
+                    Topology::kDirectedCycle);
+  for (Label i = 0; i < alpha; ++i)
+    for (Label o = 0; o < beta; ++o)
+      if (rng.next_bool(3, 4)) p.allow_node(i, o);
+  for (Label a = 0; a < beta; ++a)
+    for (Label b = 0; b < beta; ++b)
+      if (rng.next_bool(3, 4)) p.allow_edge(a, b);
+  return p;
+}
+
+void MonoidEnumeration(benchmark::State& state) {
+  const auto alpha = static_cast<std::size_t>(state.range(0));
+  const auto beta = static_cast<std::size_t>(state.range(1));
+  const PairwiseProblem p = random_problem(alpha, beta, alpha * 100 + beta);
+  const TransitionSystem ts = TransitionSystem::build(p);
+  std::size_t size = 0;
+  for (auto _ : state) {
+    const Monoid monoid = Monoid::enumerate(ts);
+    size = monoid.size();
+    benchmark::DoNotOptimize(size);
+  }
+  state.counters["elements"] = static_cast<double>(size);
+}
+BENCHMARK(MonoidEnumeration)
+    ->Args({2, 2})
+    ->Args({2, 3})
+    ->Args({2, 4})
+    ->Args({3, 3})
+    ->Args({3, 4})
+    ->Args({2, 5})
+    ->Unit(benchmark::kMillisecond);
+
+void PumpDecompositionThroughput(benchmark::State& state) {
+  const PairwiseProblem p = catalog::agreement();
+  const Monoid monoid = Monoid::enumerate(TransitionSystem::build(p));
+  Rng rng(7);
+  Word w;
+  for (std::size_t i = 0; i < monoid.size() + 10; ++i) {
+    w.push_back(static_cast<Label>(rng.next_below(p.num_inputs())));
+  }
+  for (auto _ : state) {
+    auto d = pump_decomposition(monoid, w);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(PumpDecompositionThroughput);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== E10: reachable type-space sizes (Lemma 13 in practice) ===\n");
+  std::printf("%-28s %10s %10s\n", "problem", "elements", "ell_pump");
+  for (const auto& entry : lclpath::catalog::validation_catalog()) {
+    const auto ts = lclpath::TransitionSystem::build(entry.problem);
+    const auto monoid = lclpath::Monoid::enumerate(ts);
+    std::printf("%-28s %10zu %10zu\n", entry.problem.name().c_str(), monoid.size(),
+                monoid.ell_pump());
+  }
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

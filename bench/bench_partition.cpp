@@ -1,0 +1,82 @@
+// Experiment E11 (Lemmas 16, 19-22): the O(1)/O(log* n) partition
+// primitives — ruling sets, l-orientation, and the
+// (l_width, l_count, l_pattern)-partition — timed per node across n.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "local/decomposition.hpp"
+#include "local/orientation.hpp"
+#include "local/partition.hpp"
+
+namespace {
+
+using namespace lclpath;
+
+void RulingSetPerNode(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Instance instance = random_instance(Topology::kDirectedCycle, n, 2, rng);
+  const std::size_t min_gap = 16;
+  const std::size_t radius = ruling_radius(min_gap);
+  std::size_t v = 0;
+  for (auto _ : state) {
+    const bool member = ruling_member(extract_view(instance, v, radius), min_gap);
+    benchmark::DoNotOptimize(member);
+    v = (v + 1) % n;
+  }
+  state.counters["radius"] = static_cast<double>(radius);
+}
+BENCHMARK(RulingSetPerNode)->Arg(4096)->Arg(16384)->Unit(benchmark::kMicrosecond);
+
+void OrientationPerNode(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  Instance instance = random_instance(Topology::kDirectedCycle, n, 2, rng);
+  const std::size_t ell = 5;
+  const std::size_t radius = orientation_radius(ell);
+  std::size_t v = 0;
+  for (auto _ : state) {
+    const Direction d = orient(extract_view(instance, v, radius), ell);
+    benchmark::DoNotOptimize(d);
+    v = (v + 1) % n;
+  }
+}
+BENCHMARK(OrientationPerNode)->Arg(4096)->Arg(16384)->Unit(benchmark::kMicrosecond);
+
+void WholePartition(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  Instance instance = random_instance(Topology::kDirectedCycle, n, 2, rng);
+  PartitionParams params{3, 4, 3};
+  for (auto _ : state) {
+    auto part = partition(instance, params);
+    benchmark::DoNotOptimize(part.components.size());
+  }
+}
+BENCHMARK(WholePartition)->Arg(1024)->Arg(4096)->Arg(16384)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lclpath;
+  std::printf("=== E11: partition primitive structure sizes ===\n");
+  Rng rng(4);
+  for (std::size_t n : {1024u, 4096u}) {
+    Instance random = random_instance(Topology::kDirectedCycle, n, 2, rng);
+    Instance periodic = periodic_instance(Topology::kDirectedCycle, n, {0, 1, 1}, rng);
+    PartitionParams params{3, 4, 3};
+    const Partition pr = partition(random, params);
+    const Partition pp = partition(periodic, params);
+    std::size_t long_r = 0, long_p = 0;
+    for (const auto& c : pr.components) long_r += c.long_component ? 1 : 0;
+    for (const auto& c : pp.components) long_p += c.long_component ? 1 : 0;
+    std::printf("n=%6zu random: %4zu components (%zu long) | periodic: %4zu (%zu long%s)\n",
+                n, pr.components.size(), long_r, pp.components.size(), long_p,
+                pp.whole_cycle_periodic ? ", whole cycle" : "");
+  }
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Experiment E4 (Theorem 4): beta-normalized LCLs solvable in constant
+// time whose constant is 2^Omega(beta). The binary-counter LBA runs for
+// Theta(2^B) steps; Pi_MB's complexity T' = 2 + (B+1)T then grows
+// exponentially in the output-alphabet size beta = Theta(B * |Q|).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "hardness/solver.hpp"
+#include "lba/machines.hpp"
+
+namespace {
+
+using namespace lclpath;
+using namespace lclpath::hardness;
+
+void BinaryCounterRun(benchmark::State& state) {
+  const auto b = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto run = lba::run(lba::binary_counter(), b);
+    benchmark::DoNotOptimize(run.steps);
+  }
+}
+BENCHMARK(BinaryCounterRun)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lclpath;
+  using namespace lclpath::hardness;
+  std::printf("=== E4 (Theorem 4): 2^Omega(beta) constant-time complexity ===\n");
+  std::printf("%4s %10s %12s %12s %14s\n", "B", "beta", "T (steps)", "T' rounds",
+              "T' / 2^B");
+  for (std::size_t b = 2; b <= 12; ++b) {
+    const auto machine = lba::binary_counter();
+    const auto run = lba::run(machine, b);
+    const PiLabels labels(machine, b);
+    const std::size_t beta = labels.num_outputs();
+    const std::size_t t_prime = 2 + (b + 1) * (run.steps + 1);
+    std::printf("%4zu %10zu %12zu %12zu %14.2f\n", b, beta, run.steps, t_prime,
+                static_cast<double>(t_prime) / std::pow(2.0, static_cast<double>(b)));
+  }
+  std::printf("(T' grows exponentially in B while beta grows linearly: the\n"
+              " constant-time complexity is 2^Omega(beta), Theorem 4.)\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Classify the whole validation catalog and print the landscape — the
+// paper's headline: the complexity of every LCL on labeled paths/cycles
+// is decidable, and is always O(1), Theta(log* n) or Theta(n).
+#include <cstdio>
+
+#include "decide/classifier.hpp"
+
+int main() {
+  using namespace lclpath;
+  std::printf("%-28s %-18s %-14s %-14s %8s\n", "problem", "topology", "expected",
+              "decided", "monoid");
+  bool all_match = true;
+  for (const auto& entry : catalog::validation_catalog()) {
+    const ClassifiedProblem result = classify(entry.problem);
+    const bool match = result.complexity() == entry.expected;
+    all_match = all_match && match;
+    std::printf("%-28s %-18s %-14s %-14s %8zu %s\n", entry.problem.name().c_str(),
+                to_string(entry.problem.topology()).c_str(),
+                to_string(entry.expected).c_str(),
+                to_string(result.complexity()).c_str(), result.monoid_size(),
+                match ? "" : "  <-- MISMATCH");
+    if (!result.solvability().solvable) {
+      std::printf("    unsolvable witness: %s\n",
+                  word_to_string(entry.problem.inputs(),
+                                 *result.solvability().counterexample)
+                      .c_str());
+    }
+  }
+  std::printf("\n%s\n", all_match ? "All verdicts match the textbook classes."
+                                  : "Some verdicts mismatch!");
+  return all_match ? 0 : 1;
+}

@@ -1,0 +1,88 @@
+// lclpath_cli — classify an LCL problem description from a file or stdin.
+//
+//   $ ./examples/lclpath_cli problem.lcl
+//   $ ./examples/lclpath_cli --demo            # classify the catalog
+//   $ cat problem.lcl | ./examples/lclpath_cli -
+//
+// Output: the complexity class (Theorems 8+9), the certificate summary,
+// and — when the problem is solvable — a sample run of the synthesized
+// algorithm on a random instance.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "decide/classifier.hpp"
+#include "lcl/serialize.hpp"
+
+namespace {
+
+int classify_and_report(const lclpath::PairwiseProblem& problem, bool run_sample) {
+  using namespace lclpath;
+  const ClassifiedProblem result = classify(problem);
+  std::printf("%s\n", result.summary().c_str());
+  if (result.complexity() == ComplexityClass::kUnsolvable) {
+    std::printf("  witness instance with no valid labeling: %s\n",
+                word_to_string(problem.inputs(), *result.solvability().counterexample)
+                    .c_str());
+    return 0;
+  }
+  std::printf("  linear-gap feasible: %s; const-gap feasible: %s\n",
+              result.linear_certificate().feasible ? "yes" : "no",
+              result.const_certificate().feasible ? "yes" : "no");
+  if (!run_sample) return 0;
+  const auto algorithm = result.synthesize();
+  Rng rng(42);
+  const std::size_t n =
+      std::min<std::size_t>(4096, 2 * algorithm->radius(1 << 20) + 33);
+  Instance instance = random_instance(problem.topology(), n, problem.num_inputs(), rng);
+  const SimulationResult sim = simulate(*algorithm, problem, instance);
+  std::printf("  sample run: algorithm '%s', n = %zu, radius = %zu, output %s\n",
+              algorithm->name().c_str(), n, sim.radius,
+              sim.verdict.ok ? "valid" : ("INVALID (" + sim.verdict.reason + ")").c_str());
+  return sim.verdict.ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lclpath;
+  if (argc >= 2 && std::strcmp(argv[1], "--demo") == 0) {
+    for (const auto& entry : catalog::validation_catalog()) {
+      std::printf("-- %s\n", entry.note.c_str());
+      classify_and_report(entry.problem, false);
+    }
+    return 0;
+  }
+  if (argc != 2) {
+    std::fprintf(stderr,
+                 "usage: %s <problem.lcl | - | --demo>\n"
+                 "File format: see lcl/serialize.hpp (lcl/topology/inputs/outputs/"
+                 "node/edge/end).\n",
+                 argv[0]);
+    return 2;
+  }
+  std::string text;
+  if (std::strcmp(argv[1], "-") == 0) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    text = buffer.str();
+  }
+  try {
+    const PairwiseProblem problem = parse_problem(text);
+    return classify_and_report(problem, true);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,304 @@
+#include "automata/monoid.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace lclpath {
+
+bool MonoidElement::same_data(const MonoidElement& other) const {
+  return first == other.first && last == other.last && fwd == other.fwd &&
+         rev == other.rev && anchored == other.anchored &&
+         anchored_rev == other.anchored_rev && pvec == other.pvec &&
+         pvec_rev == other.pvec_rev;
+}
+
+std::size_t MonoidElement::data_hash() const {
+  std::size_t h = hash_mix(first, last);
+  h = hash_mix(h, fwd.hash());
+  h = hash_mix(h, rev.hash());
+  h = hash_mix(h, anchored.hash());
+  h = hash_mix(h, anchored_rev.hash());
+  h = hash_mix(h, pvec.hash());
+  h = hash_mix(h, pvec_rev.hash());
+  return h;
+}
+
+std::size_t Monoid::lookup(const MonoidElement& e) const {
+  auto it = by_hash_.find(e.data_hash());
+  if (it == by_hash_.end()) return elements_.size();
+  for (std::size_t index : it->second) {
+    if (elements_[index].same_data(e)) return index;
+  }
+  return elements_.size();
+}
+
+Monoid Monoid::enumerate(const TransitionSystem& ts, std::size_t max_elements) {
+  Monoid monoid;
+  monoid.ts_ = ts;
+  const std::size_t num_inputs = ts.num_inputs();
+
+  auto intern = [&monoid](MonoidElement&& e) -> std::pair<std::size_t, bool> {
+    const std::size_t found = monoid.lookup(e);
+    if (found < monoid.elements_.size()) return {found, false};
+    const std::size_t index = monoid.elements_.size();
+    monoid.by_hash_[e.data_hash()].push_back(index);
+    monoid.elements_.push_back(std::move(e));
+    return {index, true};
+  };
+
+  std::deque<std::size_t> queue;
+  for (Label sigma = 0; sigma < num_inputs; ++sigma) {
+    MonoidElement e;
+    e.fwd = ts.step(sigma);
+    e.rev = ts.step(sigma);
+    e.anchored = ts.anchored(sigma);
+    e.anchored_rev = ts.anchored(sigma);
+    e.pvec = ts.start_first(sigma);
+    e.pvec_rev = ts.start_first(sigma);
+    e.first = sigma;
+    e.last = sigma;
+    e.witness = {sigma};
+    auto [index, fresh] = intern(std::move(e));
+    if (fresh) queue.push_back(index);
+  }
+
+  while (!queue.empty()) {
+    const std::size_t index = queue.front();
+    queue.pop_front();
+    for (Label sigma = 0; sigma < num_inputs; ++sigma) {
+      // Copy source fields up front: intern() may grow elements_ and
+      // invalidate references.
+      const BitMatrix src_fwd = monoid.elements_[index].fwd;
+      const BitMatrix src_rev = monoid.elements_[index].rev;
+      const BitMatrix src_anchored = monoid.elements_[index].anchored;
+      const BitVector src_pvec = monoid.elements_[index].pvec;
+      const Label src_first = monoid.elements_[index].first;
+      const Word src_witness = monoid.elements_[index].witness;
+
+      MonoidElement e;
+      e.fwd = src_fwd * ts.step(sigma);
+      e.rev = ts.step(sigma) * src_rev;           // N((w sigma)^R) = A(sigma) N(w^R)
+      e.anchored = src_anchored * ts.step(sigma);
+      e.anchored_rev = ts.anchored(sigma) * src_rev;  // B((w sigma)^R) = B(sigma) N(w^R)
+      e.pvec = src_pvec.multiplied(ts.step(sigma));
+      e.pvec_rev = ts.start_first(sigma).multiplied(src_rev);  // prefix of (w sigma)^R
+      e.first = src_first;
+      e.last = sigma;
+      e.witness = src_witness;
+      e.witness.push_back(sigma);
+      auto [new_index, fresh] = intern(std::move(e));
+      if (fresh) {
+        if (monoid.elements_.size() > max_elements) {
+          throw std::runtime_error(
+              "Monoid::enumerate: reachable type space exceeds the configured budget (" +
+              std::to_string(max_elements) + " elements)");
+        }
+        queue.push_back(new_index);
+      }
+    }
+  }
+
+  // Dense extend table and reversal map.
+  monoid.extend_table_.assign(monoid.elements_.size() * num_inputs, 0);
+  for (std::size_t index = 0; index < monoid.elements_.size(); ++index) {
+    for (Label sigma = 0; sigma < num_inputs; ++sigma) {
+      MonoidElement e;
+      e.fwd = monoid.elements_[index].fwd * ts.step(sigma);
+      e.rev = ts.step(sigma) * monoid.elements_[index].rev;
+      e.anchored = monoid.elements_[index].anchored * ts.step(sigma);
+      e.anchored_rev = ts.anchored(sigma) * monoid.elements_[index].rev;
+      e.pvec = monoid.elements_[index].pvec.multiplied(ts.step(sigma));
+      e.pvec_rev = ts.start_first(sigma).multiplied(monoid.elements_[index].rev);
+      e.first = monoid.elements_[index].first;
+      e.last = sigma;
+      const std::size_t found = monoid.lookup(e);
+      if (found >= monoid.elements_.size()) {
+        throw std::logic_error("Monoid::enumerate: extend table hit an unknown element");
+      }
+      monoid.extend_table_[index * num_inputs + sigma] = found;
+    }
+  }
+  monoid.reversed_.assign(monoid.elements_.size(), 0);
+  for (std::size_t index = 0; index < monoid.elements_.size(); ++index) {
+    const MonoidElement& e = monoid.elements_[index];
+    MonoidElement r;
+    r.fwd = e.rev;
+    r.rev = e.fwd;
+    r.anchored = e.anchored_rev;
+    r.anchored_rev = e.anchored;
+    r.pvec = e.pvec_rev;
+    r.pvec_rev = e.pvec;
+    r.first = e.last;
+    r.last = e.first;
+    const std::size_t found = monoid.lookup(r);
+    if (found >= monoid.elements_.size()) {
+      throw std::logic_error("Monoid::enumerate: reversal map hit an unknown element");
+    }
+    monoid.reversed_[index] = found;
+  }
+  return monoid;
+}
+
+std::size_t Monoid::extend(std::size_t element, Label sigma) const {
+  return extend_table_[element * ts_.num_inputs() + sigma];
+}
+
+std::size_t Monoid::of_symbol(Label sigma) const {
+  MonoidElement e;
+  e.fwd = ts_.step(sigma);
+  e.rev = ts_.step(sigma);
+  e.anchored = ts_.anchored(sigma);
+  e.anchored_rev = ts_.anchored(sigma);
+  e.pvec = ts_.start_first(sigma);
+  e.pvec_rev = ts_.start_first(sigma);
+  e.first = sigma;
+  e.last = sigma;
+  const std::size_t found = lookup(e);
+  if (found >= elements_.size()) {
+    throw std::logic_error("Monoid::of_symbol: unknown element");
+  }
+  return found;
+}
+
+std::size_t Monoid::of_word(const Word& w) const {
+  if (w.empty()) throw std::invalid_argument("Monoid::of_word: empty word");
+  std::size_t index = of_symbol(w[0]);
+  for (std::size_t i = 1; i < w.size(); ++i) index = extend(index, w[i]);
+  return index;
+}
+
+std::size_t Monoid::reversed_index(std::size_t element) const { return reversed_[element]; }
+
+std::vector<std::size_t> Monoid::layer_at(std::size_t length) const {
+  if (length == 0) throw std::invalid_argument("Monoid::layer_at: length must be >= 1");
+  // The layer-set sequence S_1, S_2, ... evolves by a deterministic map on
+  // subsets, so it is eventually periodic; memoize sets until a repeat.
+  auto step_layer = [this](const std::vector<std::size_t>& layer) {
+    std::vector<char> seen(elements_.size(), 0);
+    std::vector<std::size_t> next;
+    for (std::size_t index : layer) {
+      for (Label sigma = 0; sigma < ts_.num_inputs(); ++sigma) {
+        const std::size_t extended = extend(index, sigma);
+        if (!seen[extended]) {
+          seen[extended] = 1;
+          next.push_back(extended);
+        }
+      }
+    }
+    std::sort(next.begin(), next.end());
+    return next;
+  };
+  auto hash_layer = [](const std::vector<std::size_t>& layer) {
+    std::size_t h = hash_mix(0x77, layer.size());
+    for (std::size_t index : layer) h = hash_mix(h, index);
+    return h;
+  };
+
+  std::vector<std::size_t> current;
+  for (Label sigma = 0; sigma < ts_.num_inputs(); ++sigma) current.push_back(of_symbol(sigma));
+  std::sort(current.begin(), current.end());
+  current.erase(std::unique(current.begin(), current.end()), current.end());
+
+  std::vector<std::vector<std::size_t>> history = {current};
+  std::unordered_map<std::size_t, std::vector<std::size_t>> seen_at;  // hash -> indices
+  seen_at[hash_layer(current)].push_back(0);
+
+  for (std::size_t l = 1; l < length; ++l) {
+    current = step_layer(current);
+    // Repeat detection.
+    const std::size_t h = hash_layer(current);
+    auto it = seen_at.find(h);
+    if (it != seen_at.end()) {
+      for (std::size_t prev : it->second) {
+        if (history[prev] == current) {
+          // Sequence cycles: history[i] holds the layer of length i+1,
+          // and the (not yet stored) current layer of length l+1 equals
+          // history[prev].
+          const std::size_t target = length - 1;  // history index wanted
+          if (target == l) return current;
+          if (target < l) return history[target];
+          const std::size_t period = l - prev;
+          return history[prev + ((target - prev) % period)];
+        }
+      }
+    }
+    history.push_back(current);
+    seen_at[h].push_back(l);
+  }
+  return history[length - 1];
+}
+
+std::vector<std::pair<std::size_t, Word>> Monoid::layer_witnesses(std::size_t length) const {
+  // BFS over (element) per layer, keeping one witness word of each exact
+  // length. Lengths used by callers are bounded by the feasibility
+  // machinery's context length; for very large lengths, build a witness by
+  // pumping instead (callers use pump_to_length).
+  std::vector<std::pair<std::size_t, Word>> layer;
+  for (Label sigma = 0; sigma < ts_.num_inputs(); ++sigma) {
+    layer.emplace_back(of_symbol(sigma), Word{sigma});
+  }
+  {
+    std::vector<char> seen(elements_.size(), 0);
+    std::vector<std::pair<std::size_t, Word>> dedup;
+    for (auto& [e, w] : layer) {
+      if (!seen[e]) {
+        seen[e] = 1;
+        dedup.emplace_back(e, std::move(w));
+      }
+    }
+    layer = std::move(dedup);
+  }
+  for (std::size_t l = 2; l <= length; ++l) {
+    std::vector<char> seen(elements_.size(), 0);
+    std::vector<std::pair<std::size_t, Word>> next;
+    for (const auto& [e, w] : layer) {
+      for (Label sigma = 0; sigma < ts_.num_inputs(); ++sigma) {
+        const std::size_t extended = extend(e, sigma);
+        if (!seen[extended]) {
+          seen[extended] = 1;
+          Word nw = w;
+          nw.push_back(sigma);
+          next.emplace_back(extended, std::move(nw));
+        }
+      }
+    }
+    layer = std::move(next);
+  }
+  return layer;
+}
+
+std::vector<std::vector<std::size_t>> Monoid::layers(std::size_t max_length) const {
+  std::vector<std::vector<std::size_t>> layers;
+  layers.reserve(max_length);
+  std::vector<char> in_layer(elements_.size(), 0);
+
+  std::vector<std::size_t> current;
+  for (Label sigma = 0; sigma < ts_.num_inputs(); ++sigma) {
+    const std::size_t index = of_symbol(sigma);
+    if (!in_layer[index]) {
+      in_layer[index] = 1;
+      current.push_back(index);
+    }
+  }
+  for (std::size_t index : current) in_layer[index] = 0;
+  layers.push_back(current);
+
+  for (std::size_t length = 2; length <= max_length; ++length) {
+    std::vector<std::size_t> next;
+    for (std::size_t index : layers.back()) {
+      for (Label sigma = 0; sigma < ts_.num_inputs(); ++sigma) {
+        const std::size_t extended = extend(index, sigma);
+        if (!in_layer[extended]) {
+          in_layer[extended] = 1;
+          next.push_back(extended);
+        }
+      }
+    }
+    for (std::size_t index : next) in_layer[index] = 0;
+    layers.push_back(std::move(next));
+  }
+  return layers;
+}
+
+}  // namespace lclpath

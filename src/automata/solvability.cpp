@@ -1,0 +1,102 @@
+#include "automata/solvability.hpp"
+
+#include <deque>
+
+namespace lclpath {
+
+namespace {
+
+/// Minimum number of nodes in a cycle instance: simple cycles have >= 3
+/// nodes; shorter "cycles" (self-loops, digons) are not graphs the LOCAL
+/// model quantifies over.
+constexpr std::size_t kMinCycleLength = 3;
+
+}  // namespace
+
+SolvabilityReport check_solvability(const Monoid& monoid, Topology topology) {
+  SolvabilityReport report;
+  const bool cycle = is_cycle(topology);
+
+  // Which elements are reached by a word of admissible instance length,
+  // and a witness word of that length for each. Paths admit every length
+  // >= 1; cycles only >= kMinCycleLength.
+  const std::size_t min_length = cycle ? kMinCycleLength : 1;
+  std::vector<char> admissible(monoid.size(), 0);
+  std::vector<Word> witness(monoid.size());
+
+  // Seed with all elements at exactly min_length, tracking witnesses.
+  struct Frontier {
+    std::size_t element;
+    Word word;
+  };
+  std::deque<Frontier> queue;
+  {
+    // Enumerate length-min_length words through the extend table; the
+    // number of distinct states per layer is bounded by the monoid size,
+    // so deduplicate per layer.
+    std::vector<Frontier> layer;
+    const TransitionSystem& ts = monoid.transitions();
+    for (Label sigma = 0; sigma < ts.num_inputs(); ++sigma) {
+      layer.push_back({monoid.of_symbol(sigma), Word{sigma}});
+    }
+    for (std::size_t length = 2; length <= min_length; ++length) {
+      std::vector<char> seen(monoid.size(), 0);
+      std::vector<Frontier> next;
+      for (const Frontier& f : layer) {
+        for (Label sigma = 0; sigma < ts.num_inputs(); ++sigma) {
+          const std::size_t e = monoid.extend(f.element, sigma);
+          if (seen[e]) continue;
+          seen[e] = 1;
+          Frontier nf{e, f.word};
+          nf.word.push_back(sigma);
+          next.push_back(std::move(nf));
+        }
+      }
+      layer = std::move(next);
+    }
+    for (Frontier& f : layer) {
+      if (!admissible[f.element]) {
+        admissible[f.element] = 1;
+        witness[f.element] = f.word;
+        queue.push_back(std::move(f));
+      }
+    }
+  }
+  // Close under extension: anything reachable from an admissible-length
+  // word is also admissible.
+  while (!queue.empty()) {
+    Frontier f = std::move(queue.front());
+    queue.pop_front();
+    for (Label sigma = 0; sigma < monoid.transitions().num_inputs(); ++sigma) {
+      const std::size_t e = monoid.extend(f.element, sigma);
+      if (admissible[e]) continue;
+      admissible[e] = 1;
+      Frontier nf{e, f.word};
+      nf.word.push_back(sigma);
+      witness[e] = nf.word;
+      queue.push_back(std::move(nf));
+    }
+  }
+
+  std::optional<Word> best;
+  for (std::size_t index = 0; index < monoid.size(); ++index) {
+    if (!admissible[index]) continue;
+    const MonoidElement& element = monoid.element(index);
+    const bool ok = cycle
+                        ? element.fwd.any_diagonal()
+                        : (element.pvec & monoid.transitions().last_mask()).any();
+    if (!ok) {
+      if (!best || witness[index].size() < best->size() ||
+          (witness[index].size() == best->size() && witness[index] < *best)) {
+        best = witness[index];
+      }
+    }
+  }
+  if (best) {
+    report.solvable = false;
+    report.counterexample = std::move(best);
+  }
+  return report;
+}
+
+}  // namespace lclpath

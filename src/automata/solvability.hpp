@@ -1,0 +1,33 @@
+// Global solvability of a pairwise LCL over all instances of a topology.
+//
+// A problem admits a LOCAL algorithm at all only if every instance has a
+// valid labeling; the paper implicitly assumes this (its constructions are
+// always-solvable by design). We decide it exactly:
+//
+//  * cycles: the instance w (a cyclic word) is solvable iff N(w) has a
+//    nonempty diagonal — the diagonal entry is the label of the last node,
+//    doubling as the virtual predecessor of the first. Quantifying over
+//    all w = quantifying over all reachable monoid elements.
+//
+//  * paths: the instance w is solvable iff the prefix vector of w is
+//    nonempty (no wrap edge; the first node has no predecessor check).
+//
+// On failure we return the shortest witness instance, which the tests
+// cross-check against the DP solver.
+#pragma once
+
+#include <optional>
+
+#include "automata/monoid.hpp"
+
+namespace lclpath {
+
+struct SolvabilityReport {
+  bool solvable = true;
+  /// A shortest instance with no valid labeling, when !solvable.
+  std::optional<Word> counterexample;
+};
+
+SolvabilityReport check_solvability(const Monoid& monoid, Topology topology);
+
+}  // namespace lclpath

@@ -1,0 +1,62 @@
+#include "automata/transition.hpp"
+
+namespace lclpath {
+
+TransitionSystem TransitionSystem::build(const PairwiseProblem& problem) {
+  TransitionSystem ts;
+  ts.problem_ = problem;
+  const std::size_t beta = problem.num_outputs();
+  ts.edge_ = problem.edge_matrix();
+  ts.step_.reserve(problem.num_inputs());
+  ts.start_.reserve(problem.num_inputs());
+  ts.start_first_.reserve(problem.num_inputs());
+  ts.last_mask_ = problem.last_mask().dim() == 0 ? BitVector::ones(beta)
+                                                 : problem.last_mask();
+  ts.anchored_.reserve(problem.num_inputs());
+  for (Label sigma = 0; sigma < problem.num_inputs(); ++sigma) {
+    BitMatrix a(beta);
+    BitMatrix anchored(beta);
+    const BitVector& allowed = problem.outputs_for(sigma);
+    for (Label y = 0; y < beta; ++y) {
+      if (!allowed.get(y)) continue;
+      anchored.set(y, y, true);
+      for (Label x = 0; x < beta; ++x) {
+        if (problem.edge_ok(x, y)) a.set(x, y, true);
+      }
+    }
+    ts.step_.push_back(std::move(a));
+    ts.start_.push_back(allowed);
+    ts.start_first_.push_back(problem.outputs_for_first(sigma));
+    ts.anchored_.push_back(std::move(anchored));
+  }
+  return ts;
+}
+
+BitMatrix TransitionSystem::word_matrix(const Word& w) const {
+  BitMatrix m = BitMatrix::identity(num_outputs());
+  for (Label sigma : w) m *= step_[sigma];
+  return m;
+}
+
+BitMatrix TransitionSystem::word_matrix_reversed(const Word& w) const {
+  BitMatrix m = BitMatrix::identity(num_outputs());
+  for (auto it = w.rbegin(); it != w.rend(); ++it) m *= step_[*it];
+  return m;
+}
+
+BitVector TransitionSystem::prefix_vector(const Word& w) const {
+  if (w.empty()) return BitVector::ones(num_outputs());
+  BitVector v = start_first_[w[0]];
+  for (std::size_t i = 1; i < w.size(); ++i) v = v.multiplied(step_[w[i]]);
+  return v;
+}
+
+BitMatrix TransitionSystem::anchored_matrix(const Word& w) const {
+  BitMatrix m = BitMatrix::identity(num_outputs());
+  if (w.empty()) return m;
+  m = anchored_[w[0]];
+  for (std::size_t i = 1; i < w.size(); ++i) m *= step_[w[i]];
+  return m;
+}
+
+}  // namespace lclpath

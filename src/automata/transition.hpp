@@ -1,0 +1,76 @@
+// Transition-matrix view of a pairwise LCL (Section 4.1 machinery).
+//
+// For a pairwise problem with step relation C_edge and node relation
+// C_node, define for every input symbol sigma the boolean matrix
+//
+//   A(sigma)[x][y] = (x, y) in C_edge  AND  (sigma, y) in C_node,
+//
+// i.e. "a node with input sigma can output y after a predecessor that
+// output x". For an input word w = w_0 .. w_{k-1}:
+//
+//   N(w) = A(w_0) * A(w_1) * ... * A(w_{k-1})
+//
+// has N(w)[x][y] = "the word admits a labeling whose last label is y, all
+// node checks and internal edge checks pass, and the label of a virtual
+// predecessor x is compatible with the first node". All of the paper's
+// type/extendibility notions (Lemmas 10-13) reduce to N (plus boundary
+// input symbols), which is why path concatenation becomes matrix
+// multiplication (Lemma 12) and the number of types is finite (Lemma 13).
+//
+// Additional tracked objects:
+//   * start(w)  = outputs_for(w_0) * A(w_1) * ... — labelings of a path
+//     *prefix* (no virtual predecessor); used for path topologies.
+//   * B(w) = diag(node(w_0, .)) * A(w_1) * ... — "anchored" chains whose
+//     first label is the row index; used for periodic labelings in the
+//     Theta(1)-gap decider (Section 4.4).
+#pragma once
+
+#include <vector>
+
+#include "core/alphabet.hpp"
+#include "core/bitmatrix.hpp"
+#include "lcl/problem.hpp"
+
+namespace lclpath {
+
+class TransitionSystem {
+ public:
+  static TransitionSystem build(const PairwiseProblem& problem);
+
+  const PairwiseProblem& problem() const { return problem_; }
+  std::size_t num_outputs() const { return step_.empty() ? 0 : step_[0].dim(); }
+  std::size_t num_inputs() const { return step_.size(); }
+
+  /// A(sigma).
+  const BitMatrix& step(Label sigma) const { return step_[sigma]; }
+  /// outputs_for(sigma) as a row vector.
+  const BitVector& start(Label sigma) const { return start_[sigma]; }
+  /// outputs_for_first(sigma): the path-start variant (first-node rules).
+  const BitVector& start_first(Label sigma) const { return start_first_[sigma]; }
+  /// Allowed outputs at a path's last node (all-ones when unrestricted).
+  const BitVector& last_mask() const { return last_mask_; }
+  /// diag(node(sigma, .)): anchored single-node matrix.
+  const BitMatrix& anchored(Label sigma) const { return anchored_[sigma]; }
+  /// C_edge as a matrix.
+  const BitMatrix& edge() const { return edge_; }
+
+  /// N(w) for a nonempty word (identity for the empty word).
+  BitMatrix word_matrix(const Word& w) const;
+  /// N(reverse(w)).
+  BitMatrix word_matrix_reversed(const Word& w) const;
+  /// start-restricted vector for a path prefix (empty word -> all-ones).
+  BitVector prefix_vector(const Word& w) const;
+  /// B(w) (identity for the empty word).
+  BitMatrix anchored_matrix(const Word& w) const;
+
+ private:
+  PairwiseProblem problem_;
+  std::vector<BitMatrix> step_;
+  std::vector<BitVector> start_;
+  std::vector<BitVector> start_first_;
+  BitVector last_mask_;
+  std::vector<BitMatrix> anchored_;
+  BitMatrix edge_;
+};
+
+}  // namespace lclpath

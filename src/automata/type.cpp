@@ -1,0 +1,47 @@
+#include "automata/type.hpp"
+
+#include <stdexcept>
+
+namespace lclpath {
+
+std::size_t PathType::hash() const {
+  std::size_t h = hash_mix(0xABCD, short_path ? 1 : 0);
+  for (Label l : boundary) h = hash_mix(h, l);
+  if (!short_path) h = hash_mix(h, interior.hash());
+  return h;
+}
+
+PathType type_of(const TransitionSystem& ts, const Word& w) {
+  if (w.empty()) throw std::invalid_argument("type_of: empty word");
+  PathType t;
+  if (w.size() <= 4) {
+    t.short_path = true;
+    t.boundary = w;
+    t.interior = BitMatrix::identity(ts.num_outputs());
+    return t;
+  }
+  t.short_path = false;
+  t.boundary = {w[0], w[1], w[w.size() - 2], w[w.size() - 1]};
+  BitMatrix m = BitMatrix::identity(ts.num_outputs());
+  for (std::size_t i = 2; i + 1 < w.size(); ++i) m *= ts.step(w[i]);
+  t.interior = m;
+  return t;
+}
+
+bool extendible(const TransitionSystem& ts, const Word& w,
+                const std::array<Label, 4>& boundary_outputs) {
+  const std::size_t k = w.size();
+  if (k < 4) throw std::invalid_argument("extendible: |w| must be >= 4");
+  const auto [a0, a1, b0, b1] = boundary_outputs;
+  (void)b1;  // position k-1 is in D1: no consistency required there
+  const PairwiseProblem& p = ts.problem();
+  // Consistency at position 1: node check + edge from position 0.
+  if (!p.node_ok(w[1], a1) || !p.edge_ok(a0, a1)) return false;
+  // Consistency at position k-2 (node check folded into the chain) and the
+  // chain through interior positions 2 .. k-2 ending at b0.
+  BitVector v = BitVector::unit(ts.num_outputs(), a1);
+  for (std::size_t i = 2; i + 1 < k; ++i) v = v.multiplied(ts.step(w[i]));
+  return v.get(b0);
+}
+
+}  // namespace lclpath

@@ -1,0 +1,54 @@
+// Path types (the paper's ?~ equivalence, Section 4.1).
+//
+// For the pairwise (r = 1) form, Type(P) of a directed input-labeled path
+// P = (u_1 .. u_k) is captured exactly by:
+//   * k itself when k <= 4r = 4 (short paths: the type is the word);
+//   * otherwise: the input labels of D1 u D2 (the first two and last two
+//     nodes) plus the extendibility relation of boundary labelings, which
+//     reduces to the interior reachability matrix
+//       M = A(w_2) * ... * A(w_{k-3})   (0-based interior symbols).
+//
+// An assignment L = (a0, a1, b0, b1) of outputs to D1 u D2 is extendible
+// w.r.t. P iff a labeling of the whole path exists that agrees with L and
+// is locally consistent at every node except the two endpoints; in matrix
+// terms:
+//   node(w1, a1) & edge(a0, a1) & (M path from a1 to b0 through the
+//   interior, with the node check of position k-2 folded into the last
+//   factor) & node(w_{k-2}, b0)  [b1 is unconstrained: position k-1 is in D1].
+//
+// This module provides the ground-truth objects used by the decidability
+// tests: type computation, extendibility by explicit DP, and the
+// replacement lemma checks (Lemmas 10-12).
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "automata/transition.hpp"
+
+namespace lclpath {
+
+struct PathType {
+  /// Exact word for short paths (size <= 4); otherwise the 4 boundary
+  /// inputs (w0, w1, w_{k-2}, w_{k-1}).
+  Word boundary;
+  bool short_path = false;
+  /// Interior matrix (identity when k == 4). Meaningful only when
+  /// !short_path.
+  BitMatrix interior;
+
+  bool operator==(const PathType& other) const = default;
+  std::size_t hash() const;
+};
+
+/// Computes Type(P) for a nonempty word.
+PathType type_of(const TransitionSystem& ts, const Word& w);
+
+/// Ground-truth extendibility by explicit dynamic programming: does a
+/// complete labeling of w exist that assigns (a0, a1) to the first two and
+/// (b0, b1) to the last two nodes and is locally consistent at every node
+/// except the endpoints? Requires |w| >= 4.
+bool extendible(const TransitionSystem& ts, const Word& w,
+                const std::array<Label, 4>& boundary_outputs);
+
+}  // namespace lclpath

@@ -1,0 +1,120 @@
+#include "core/alphabet.hpp"
+
+#include <stdexcept>
+
+namespace lclpath {
+
+Alphabet::Alphabet(std::vector<std::string> names) {
+  for (auto& n : names) add(std::move(n));
+}
+
+Label Alphabet::add(std::string name) {
+  if (index_.contains(name)) {
+    throw std::invalid_argument("Alphabet::add: duplicate label '" + name + "'");
+  }
+  const Label label = static_cast<Label>(names_.size());
+  index_.emplace(name, label);
+  names_.push_back(std::move(name));
+  return label;
+}
+
+Label Alphabet::add_or_get(std::string_view name) {
+  if (auto found = find(name)) return *found;
+  return add(std::string(name));
+}
+
+const std::string& Alphabet::name(Label label) const {
+  if (label >= names_.size()) throw std::out_of_range("Alphabet::name: bad label index");
+  return names_[label];
+}
+
+std::optional<Label> Alphabet::find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+Label Alphabet::at(std::string_view name) const {
+  if (auto found = find(name)) return *found;
+  throw std::out_of_range("Alphabet::at: unknown label '" + std::string(name) + "' in " +
+                          to_string());
+}
+
+std::string Alphabet::to_string() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += names_[i];
+  }
+  out += "}";
+  return out;
+}
+
+std::string word_to_string(const Alphabet& alphabet, const Word& word) {
+  std::string out;
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    if (i > 0) out.push_back(' ');
+    out += alphabet.name(word[i]);
+  }
+  return out;
+}
+
+Word word_from_string(const Alphabet& alphabet, std::string_view text) {
+  Word word;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    while (pos < text.size() && text[pos] == ' ') ++pos;
+    std::size_t end = pos;
+    while (end < text.size() && text[end] != ' ') ++end;
+    if (end > pos) word.push_back(alphabet.at(text.substr(pos, end - pos)));
+    pos = end;
+  }
+  return word;
+}
+
+Word reversed(const Word& word) { return Word(word.rbegin(), word.rend()); }
+
+Word repeated(const Word& word, std::size_t k) {
+  Word out;
+  out.reserve(word.size() * k);
+  for (std::size_t i = 0; i < k; ++i) out.insert(out.end(), word.begin(), word.end());
+  return out;
+}
+
+Word concat(const Word& a, const Word& b) {
+  Word out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+bool is_primitive(const Word& word) {
+  const std::size_t n = word.size();
+  if (n == 0) return false;
+  for (std::size_t period = 1; period * 2 <= n; ++period) {
+    if (n % period != 0) continue;
+    bool repeats = true;
+    for (std::size_t i = period; i < n && repeats; ++i) {
+      repeats = word[i] == word[i - period];
+    }
+    if (repeats) return false;
+  }
+  return true;
+}
+
+void for_each_word(std::size_t alphabet_size, std::size_t length,
+                   const std::function<void(const Word&)>& fn) {
+  Word word(length, 0);
+  while (true) {
+    fn(word);
+    std::size_t i = length;
+    while (i > 0) {
+      --i;
+      if (++word[i] < alphabet_size) break;
+      word[i] = 0;
+      if (i == 0) return;
+    }
+    if (length == 0) return;
+  }
+}
+
+}  // namespace lclpath

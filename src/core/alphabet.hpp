@@ -1,0 +1,82 @@
+// Named finite alphabets (input and output label sets of an LCL).
+//
+// LCL problems in the paper are defined over constant-size label sets
+// Sigma_in / Sigma_out. Internally labels are dense indices (0..size-1);
+// the Alphabet keeps the human-readable names for serialization, examples
+// and error messages.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace lclpath {
+
+/// Dense index of a label within its alphabet.
+using Label = std::uint32_t;
+
+/// An ordered set of named labels. Indices are assigned in insertion order.
+class Alphabet {
+ public:
+  Alphabet() = default;
+  /// Convenience: alphabet with the given names, in order.
+  explicit Alphabet(std::vector<std::string> names);
+
+  /// Adds a label (must be new) and returns its index.
+  Label add(std::string name);
+  /// Adds the label if absent; returns its index either way.
+  Label add_or_get(std::string_view name);
+
+  std::size_t size() const { return names_.size(); }
+  const std::string& name(Label label) const;
+  std::optional<Label> find(std::string_view name) const;
+  /// Like find() but throws std::out_of_range with a helpful message.
+  Label at(std::string_view name) const;
+  bool contains(std::string_view name) const { return find(name).has_value(); }
+
+  const std::vector<std::string>& names() const { return names_; }
+
+  bool operator==(const Alphabet& other) const { return names_ == other.names_; }
+
+  /// "{a, b, c}"
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Label> index_;
+};
+
+/// A word over an alphabet, stored as dense label indices. The decidability
+/// machinery manipulates input words of paths; this alias keeps signatures
+/// readable.
+using Word = std::vector<Label>;
+
+/// Renders a word with label names separated by spaces.
+std::string word_to_string(const Alphabet& alphabet, const Word& word);
+
+/// Parses a space-separated word; throws std::out_of_range on unknown names.
+Word word_from_string(const Alphabet& alphabet, std::string_view text);
+
+/// Reverse of a word.
+Word reversed(const Word& word);
+
+/// w repeated k times.
+Word repeated(const Word& word, std::size_t k);
+
+/// Concatenation.
+Word concat(const Word& a, const Word& b);
+
+/// True if the word cannot be written as x^i with i >= 2 (Section 4.3:
+/// "primitive" strings are the periods used by the O(1) partition).
+bool is_primitive(const Word& word);
+
+/// Enumerates all words of the given length over an alphabet of
+/// `alphabet_size` labels, invoking fn(word) for each. Lexicographic order.
+void for_each_word(std::size_t alphabet_size, std::size_t length,
+                   const std::function<void(const Word&)>& fn);
+
+}  // namespace lclpath

@@ -1,0 +1,259 @@
+#include "core/bitmatrix.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace lclpath {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+
+std::size_t words_for(std::size_t dim) { return (dim + kWordBits - 1) / kWordBits; }
+}  // namespace
+
+BitMatrix::BitMatrix(std::size_t dim)
+    : dim_(dim), words_per_row_(words_for(dim)), words_(dim * words_per_row_, 0) {}
+
+BitMatrix BitMatrix::identity(std::size_t dim) {
+  BitMatrix m(dim);
+  for (std::size_t i = 0; i < dim; ++i) m.set(i, i, true);
+  return m;
+}
+
+BitMatrix BitMatrix::zero(std::size_t dim) { return BitMatrix(dim); }
+
+BitMatrix BitMatrix::ones(std::size_t dim) {
+  BitMatrix m(dim);
+  for (std::size_t i = 0; i < dim; ++i)
+    for (std::size_t j = 0; j < dim; ++j) m.set(i, j, true);
+  return m;
+}
+
+bool BitMatrix::get(std::size_t row, std::size_t col) const {
+  assert(row < dim_ && col < dim_);
+  return (words_[row * words_per_row_ + col / kWordBits] >> (col % kWordBits)) & 1u;
+}
+
+void BitMatrix::set(std::size_t row, std::size_t col, bool value) {
+  assert(row < dim_ && col < dim_);
+  std::uint64_t& w = words_[row * words_per_row_ + col / kWordBits];
+  const std::uint64_t bit = std::uint64_t{1} << (col % kWordBits);
+  if (value) {
+    w |= bit;
+  } else {
+    w &= ~bit;
+  }
+}
+
+BitMatrix BitMatrix::operator*(const BitMatrix& other) const {
+  assert(dim_ == other.dim_);
+  BitMatrix result(dim_);
+  // Row-by-row: for every set bit k in row i of *this, OR in row k of other.
+  for (std::size_t i = 0; i < dim_; ++i) {
+    std::uint64_t* out = &result.words_[i * words_per_row_];
+    const std::uint64_t* row = &words_[i * words_per_row_];
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      std::uint64_t bits = row[w];
+      while (bits != 0) {
+        const std::size_t k = w * kWordBits + static_cast<std::size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const std::uint64_t* other_row = &other.words_[k * words_per_row_];
+        for (std::size_t ww = 0; ww < words_per_row_; ++ww) out[ww] |= other_row[ww];
+      }
+    }
+  }
+  return result;
+}
+
+BitMatrix& BitMatrix::operator*=(const BitMatrix& other) {
+  *this = *this * other;
+  return *this;
+}
+
+BitMatrix BitMatrix::operator|(const BitMatrix& other) const {
+  assert(dim_ == other.dim_);
+  BitMatrix result = *this;
+  for (std::size_t i = 0; i < words_.size(); ++i) result.words_[i] |= other.words_[i];
+  return result;
+}
+
+BitMatrix BitMatrix::operator&(const BitMatrix& other) const {
+  assert(dim_ == other.dim_);
+  BitMatrix result = *this;
+  for (std::size_t i = 0; i < words_.size(); ++i) result.words_[i] &= other.words_[i];
+  return result;
+}
+
+BitMatrix BitMatrix::transposed() const {
+  BitMatrix result(dim_);
+  for (std::size_t i = 0; i < dim_; ++i)
+    for (std::size_t j = 0; j < dim_; ++j)
+      if (get(i, j)) result.set(j, i, true);
+  return result;
+}
+
+BitMatrix BitMatrix::power(std::uint64_t k) const {
+  BitMatrix result = identity(dim_);
+  BitMatrix base = *this;
+  while (k > 0) {
+    if (k & 1) result *= base;
+    base *= base;
+    k >>= 1;
+  }
+  return result;
+}
+
+BitMatrix::Stabilization BitMatrix::stabilize() const {
+  // Floyd-free approach: the power sequence of a boolean matrix over a
+  // finite monoid enters a cycle; enumerate powers with a hash map from
+  // matrix to first exponent. Dimension is small so this is cheap.
+  std::unordered_map<BitMatrix, std::uint64_t, BitMatrixHash> seen;
+  BitMatrix current = *this;
+  std::uint64_t exponent = 1;
+  while (true) {
+    auto [it, inserted] = seen.emplace(current, exponent);
+    if (!inserted) {
+      Stabilization s;
+      s.first = it->second;
+      s.period = exponent - it->second;
+      s.stable_power = power(s.first);
+      return s;
+    }
+    current *= *this;
+    ++exponent;
+  }
+}
+
+bool BitMatrix::any() const {
+  for (std::uint64_t w : words_)
+    if (w != 0) return true;
+  return false;
+}
+
+bool BitMatrix::any_diagonal() const {
+  for (std::size_t i = 0; i < dim_; ++i)
+    if (get(i, i)) return true;
+  return false;
+}
+
+std::size_t BitMatrix::count() const {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+const std::uint64_t* BitMatrix::row_words(std::size_t row) const {
+  assert(row < dim_);
+  return &words_[row * words_per_row_];
+}
+
+std::string BitMatrix::to_string() const {
+  std::string out;
+  out.reserve(dim_ * (dim_ + 1));
+  for (std::size_t i = 0; i < dim_; ++i) {
+    for (std::size_t j = 0; j < dim_; ++j) out.push_back(get(i, j) ? '1' : '.');
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::size_t BitMatrix::hash() const {
+  std::size_t h = hash_mix(0x1234, dim_);
+  for (std::uint64_t w : words_) h = hash_mix(h, static_cast<std::size_t>(w));
+  return h;
+}
+
+BitVector::BitVector(std::size_t dim) : dim_(dim), words_(words_for(dim), 0) {}
+
+BitVector BitVector::unit(std::size_t dim, std::size_t index) {
+  BitVector v(dim);
+  v.set(index, true);
+  return v;
+}
+
+BitVector BitVector::ones(std::size_t dim) {
+  BitVector v(dim);
+  for (std::size_t i = 0; i < dim; ++i) v.set(i, true);
+  return v;
+}
+
+bool BitVector::get(std::size_t index) const {
+  assert(index < dim_);
+  return (words_[index / kWordBits] >> (index % kWordBits)) & 1u;
+}
+
+void BitVector::set(std::size_t index, bool value) {
+  assert(index < dim_);
+  std::uint64_t& w = words_[index / kWordBits];
+  const std::uint64_t bit = std::uint64_t{1} << (index % kWordBits);
+  if (value) {
+    w |= bit;
+  } else {
+    w &= ~bit;
+  }
+}
+
+bool BitVector::any() const {
+  for (std::uint64_t w : words_)
+    if (w != 0) return true;
+  return false;
+}
+
+std::size_t BitVector::count() const {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+BitVector BitVector::multiplied(const BitMatrix& m) const {
+  assert(dim_ == m.dim());
+  BitVector result(dim_);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t bits = words_[w];
+    while (bits != 0) {
+      const std::size_t i = w * kWordBits + static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      const std::uint64_t* row = m.row_words(i);
+      for (std::size_t ww = 0; ww < result.words_.size(); ++ww) result.words_[ww] |= row[ww];
+    }
+  }
+  return result;
+}
+
+bool BitVector::intersects(const BitVector& other) const {
+  assert(dim_ == other.dim_);
+  for (std::size_t w = 0; w < words_.size(); ++w)
+    if ((words_[w] & other.words_[w]) != 0) return true;
+  return false;
+}
+
+BitVector BitVector::operator|(const BitVector& other) const {
+  assert(dim_ == other.dim_);
+  BitVector result = *this;
+  for (std::size_t w = 0; w < words_.size(); ++w) result.words_[w] |= other.words_[w];
+  return result;
+}
+
+BitVector BitVector::operator&(const BitVector& other) const {
+  assert(dim_ == other.dim_);
+  BitVector result = *this;
+  for (std::size_t w = 0; w < words_.size(); ++w) result.words_[w] &= other.words_[w];
+  return result;
+}
+
+std::size_t BitVector::hash() const {
+  std::size_t h = hash_mix(0x5678, dim_);
+  for (std::uint64_t w : words_) h = hash_mix(h, static_cast<std::size_t>(w));
+  return h;
+}
+
+std::string BitVector::to_string() const {
+  std::string out;
+  out.reserve(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) out.push_back(get(i) ? '1' : '.');
+  return out;
+}
+
+}  // namespace lclpath

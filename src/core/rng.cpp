@@ -1,0 +1,47 @@
+#include "core/rng.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace lclpath {
+
+std::uint64_t Rng::next_u64() {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  assert(bound >= 1);
+  // Rejection sampling over the top multiple of bound to avoid modulo bias.
+  const std::uint64_t limit = bound * ((~std::uint64_t{0}) / bound);
+  std::uint64_t draw;
+  do {
+    draw = next_u64();
+  } while (draw >= limit);
+  return draw % bound;
+}
+
+std::int64_t Rng::next_in(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(span == 0 ? next_u64() : next_below(span));
+}
+
+bool Rng::next_bool(std::uint64_t p_num, std::uint64_t p_den) {
+  assert(p_den >= 1 && p_num <= p_den);
+  return next_below(p_den) < p_num;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(next_below(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace lclpath

@@ -1,0 +1,35 @@
+// Deterministic pseudo-random generation for tests, benchmarks and
+// workload generators. We avoid std::mt19937 state-size overhead and
+// implementation-defined distribution behavior: every draw here is exactly
+// reproducible across platforms, which the property-test suites rely on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lclpath {
+
+/// splitmix64-based generator: tiny, fast, and portable-deterministic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) for bound >= 1 (debiased by rejection).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli(p_num / p_den).
+  bool next_bool(std::uint64_t p_num = 1, std::uint64_t p_den = 2);
+
+  /// Random permutation of {0, .., n-1} (Fisher-Yates).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace lclpath

@@ -1,0 +1,76 @@
+#include "decide/classifier.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace lclpath {
+
+std::unique_ptr<LocalAlgorithm> ClassifiedProblem::synthesize() const {
+  switch (complexity_) {
+    case ComplexityClass::kUnsolvable:
+      throw std::logic_error("synthesize: problem is unsolvable (" +
+                             (solvability_.counterexample
+                                  ? word_to_string(problem_->inputs(),
+                                                   *solvability_.counterexample)
+                                  : std::string("?")) +
+                             " has no valid labeling)");
+    case ComplexityClass::kConstant:
+      if (problem_->topology() == Topology::kDirectedCycle) {
+        return std::make_unique<SynthesizedConstant>(*monoid_, const_);
+      }
+      break;
+    case ComplexityClass::kLogStar:
+      if (problem_->topology() == Topology::kDirectedCycle) {
+        return std::make_unique<SynthesizedLogStar>(*monoid_, linear_);
+      }
+      break;
+    case ComplexityClass::kLinear:
+      break;
+  }
+  return std::make_unique<GatherAllAlgorithm>(*problem_);
+}
+
+std::string ClassifiedProblem::summary() const {
+  std::ostringstream out;
+  out << problem_->name() << " on " << lclpath::to_string(problem_->topology()) << ": "
+      << lclpath::to_string(complexity_) << " (monoid " << monoid_->size()
+      << " elements)";
+  if (!solvability_.solvable && solvability_.counterexample) {
+    out << "; counterexample inputs: "
+        << word_to_string(problem_->inputs(), *solvability_.counterexample);
+  }
+  return out.str();
+}
+
+ClassifiedProblem classify(const PairwiseProblem& problem, std::size_t max_monoid) {
+  if (!is_directed(problem.topology()) && !problem.is_orientation_symmetric()) {
+    throw std::invalid_argument(
+        "classify: undirected topologies require an orientation-symmetric edge "
+        "constraint (see Section 3.7 for the lift from directed problems)");
+  }
+  ClassifiedProblem result;
+  result.problem_ = std::make_unique<PairwiseProblem>(problem);
+  result.transitions_ =
+      std::make_unique<TransitionSystem>(TransitionSystem::build(*result.problem_));
+  result.monoid_ =
+      std::make_unique<Monoid>(Monoid::enumerate(*result.transitions_, max_monoid));
+
+  result.solvability_ = check_solvability(*result.monoid_, problem.topology());
+  if (!result.solvability_.solvable) {
+    result.complexity_ = ComplexityClass::kUnsolvable;
+    return result;
+  }
+
+  result.linear_ = decide_linear_gap(*result.monoid_);
+  if (!result.linear_.feasible) {
+    result.complexity_ = ComplexityClass::kLinear;
+    return result;
+  }
+
+  result.const_ = decide_const_gap(*result.monoid_);
+  result.complexity_ = result.const_.feasible ? ComplexityClass::kConstant
+                                              : ComplexityClass::kLogStar;
+  return result;
+}
+
+}  // namespace lclpath

@@ -1,0 +1,77 @@
+// The top-level decision procedure (Theorems 8 + 9).
+//
+// classify() takes any pairwise LCL problem and returns its deterministic
+// LOCAL complexity class on the problem's topology:
+//
+//   1. solvability: if some instance has no valid labeling, the problem
+//      admits no algorithm at all (kUnsolvable);
+//   2. Theorem 8 (Section 4.2): a feasible separator-block function exists
+//      iff the problem is O(log* n); otherwise it is Theta(n);
+//   3. Theorem 9 (Sections 4.4-4.5): a feasible periodic-pattern function
+//      exists iff the problem is O(1).
+//
+// The result bundles the certificates, which are exactly the "description
+// of an asymptotically optimal algorithm" the paper's theorems promise:
+// synthesize() turns them into a runnable LocalAlgorithm (directed cycles;
+// other topologies fall back to the Theta(n) baseline for execution while
+// the classification itself is exact).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "automata/monoid.hpp"
+#include "automata/solvability.hpp"
+#include "decide/const_gap.hpp"
+#include "decide/linear_gap.hpp"
+#include "decide/synthesized.hpp"
+#include "lcl/catalog.hpp"
+
+namespace lclpath {
+
+/// Classification result; owns everything synthesis needs (the problem
+/// copy, the transition system, the monoid and the certificates), so it
+/// can outlive the inputs of classify().
+class ClassifiedProblem {
+ public:
+  ComplexityClass complexity() const { return complexity_; }
+  const SolvabilityReport& solvability() const { return solvability_; }
+  const LinearGapCertificate& linear_certificate() const { return linear_; }
+  const ConstGapCertificate& const_certificate() const { return const_; }
+  const Monoid& monoid() const { return *monoid_; }
+  const PairwiseProblem& problem() const { return *problem_; }
+  std::size_t monoid_size() const { return monoid_->size(); }
+  std::size_t ell_pump() const { return monoid_->ell_pump(); }
+
+  /// An asymptotically optimal executable algorithm for the class:
+  ///   kConstant  -> SynthesizedConstant   (directed cycles)
+  ///   kLogStar   -> SynthesizedLogStar    (directed cycles)
+  ///   kLinear    -> GatherAllAlgorithm
+  /// Throws for kUnsolvable. Non-directed-cycle topologies return the
+  /// gather-all baseline (classification is still exact; see DESIGN.md).
+  std::unique_ptr<LocalAlgorithm> synthesize() const;
+
+  /// One-line human-readable summary.
+  std::string summary() const;
+
+ private:
+  friend ClassifiedProblem classify(const PairwiseProblem& problem,
+                                    std::size_t max_monoid);
+
+  ComplexityClass complexity_ = ComplexityClass::kUnsolvable;
+  SolvabilityReport solvability_;
+  LinearGapCertificate linear_;
+  ConstGapCertificate const_;
+  std::unique_ptr<PairwiseProblem> problem_;
+  std::unique_ptr<TransitionSystem> transitions_;
+  std::unique_ptr<Monoid> monoid_;
+};
+
+/// Runs the full decision procedure. Throws std::runtime_error if the
+/// problem's reachable type space exceeds max_monoid elements (the
+/// procedure is PSPACE-hard in general — Theorem 5 — so a budget is part
+/// of the API).
+ClassifiedProblem classify(const PairwiseProblem& problem,
+                           std::size_t max_monoid = 500000);
+
+}  // namespace lclpath

@@ -1,0 +1,343 @@
+#include "decide/linear_gap.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lclpath {
+
+std::size_t BlockPointHash::operator()(const BlockPoint& p) const {
+  std::size_t h = hash_mix(static_cast<std::size_t>(p.kind), p.left);
+  h = hash_mix(h, p.s0);
+  h = hash_mix(h, p.s1);
+  h = hash_mix(h, p.right);
+  return h;
+}
+
+BlockValue LinearGapCertificate::value_at(const BlockPoint& point) const {
+  auto it = index.find(point);
+  if (it == index.end()) {
+    throw std::logic_error("LinearGapCertificate::value_at: point not in domain");
+  }
+  return choice[it->second];
+}
+
+namespace {
+
+/// Shared search context.
+struct Search {
+  const Monoid& monoid;
+  const TransitionSystem& ts;
+  bool cycle;
+  bool directed;
+
+  std::vector<BlockPoint> domain;
+  std::vector<std::size_t> rho;  ///< reversed point per point (undirected)
+  std::vector<std::vector<BlockValue>> candidates;
+
+  /// row_cache[element][label] = e_label * fwd(element)
+  std::vector<std::vector<BitVector>> row_cache;
+
+  /// glue_cache[(right, left, s0)] = fwd(right) * fwd(left) * A(s0); the
+  /// glue check is then a single bit lookup.
+  std::unordered_map<std::size_t, BitMatrix> glue_cache;
+
+  explicit Search(const Monoid& m)
+      : monoid(m),
+        ts(m.transitions()),
+        cycle(is_cycle(m.transitions().problem().topology())),
+        directed(is_directed(m.transitions().problem().topology())) {}
+
+  const BitVector& row_of(std::size_t element, Label label) {
+    auto& rows = row_cache[element];
+    if (rows.empty()) {
+      rows.reserve(ts.num_outputs());
+      for (Label l = 0; l < ts.num_outputs(); ++l) {
+        rows.push_back(BitVector::unit(ts.num_outputs(), l)
+                           .multiplied(monoid.element(element).fwd));
+      }
+    }
+    return rows[label];
+  }
+
+  /// Gluing across middle = fwd(right_elem) * fwd(left_elem) * A(s0).
+  const BitMatrix& glue_matrix(std::size_t right_elem, std::size_t left_elem, Label s0) {
+    std::size_t key = hash_mix(right_elem, left_elem);
+    key = hash_mix(key, s0);
+    auto it = glue_cache.find(key);
+    if (it == glue_cache.end()) {
+      BitMatrix g = monoid.element(right_elem).fwd * monoid.element(left_elem).fwd *
+                    ts.step(s0);
+      it = glue_cache.emplace(key, std::move(g)).first;
+    }
+    return it->second;
+  }
+
+  bool glue(std::size_t right_elem, Label sym1, std::size_t left_elem, Label s0,
+            Label sym2) {
+    return glue_matrix(right_elem, left_elem, s0).get(sym1, sym2);
+  }
+
+  bool left_role(std::size_t p) const {
+    return domain[p].kind != BlockKind::kRightEnd;
+  }
+  bool right_role(std::size_t p) const {
+    return domain[p].kind != BlockKind::kLeftEnd;
+  }
+
+  /// Full orientation-combo pair check: with points p1 (left role) and p2
+  /// (right role) assigned values v1, v2 — and, when undirected, their
+  /// reversed points assigned rv1, rv2 — do all placements glue?
+  /// For directed problems only the (F, F) combo applies.
+  bool pair_ok(std::size_t p1, const BlockValue& v1, const BlockValue& rv1,
+               std::size_t p2, const BlockValue& v2, const BlockValue& rv2) {
+    const BlockPoint& a = domain[p1];
+    const BlockPoint& b = domain[p2];
+    // Right-facing symbol of block 1 / left-facing symbol of block 2 per
+    // orientation choice.
+    const Label sym1_f = v1.b;
+    const Label sym2_f = v2.a;
+    if (!glue(a.right, sym1_f, b.left, b.s0, sym2_f)) return false;
+    if (directed) return true;
+    const Label sym1_r = rv1.a;  // reversed placement: value of rho(p1), .a faces right
+    const Label sym2_r = rv2.b;
+    if (!glue(a.right, sym1_r, b.left, b.s0, sym2_f)) return false;
+    if (!glue(a.right, sym1_f, b.left, b.s0, sym2_r)) return false;
+    if (!glue(a.right, sym1_r, b.left, b.s0, sym2_r)) return false;
+    return true;
+  }
+};
+
+}  // namespace
+
+LinearGapCertificate decide_linear_gap(const Monoid& monoid) {
+  LinearGapCertificate cert;
+  const TransitionSystem& ts = monoid.transitions();
+  const PairwiseProblem& problem = ts.problem();
+  const bool cycle = is_cycle(problem.topology());
+  const bool directed = is_directed(problem.topology());
+  const std::size_t beta = ts.num_outputs();
+
+  cert.ell_ctx = monoid.size() + 5;
+
+  // Context element set: layers at lengths ell_ctx and ell_ctx + 1.
+  std::vector<std::size_t> contexts = monoid.layer_at(cert.ell_ctx);
+  {
+    std::vector<std::size_t> next = monoid.layer_at(cert.ell_ctx + 1);
+    contexts.insert(contexts.end(), next.begin(), next.end());
+    std::sort(contexts.begin(), contexts.end());
+    contexts.erase(std::unique(contexts.begin(), contexts.end()), contexts.end());
+  }
+
+  Search search(monoid);
+  search.row_cache.resize(monoid.size());
+
+  // Build the domain.
+  auto add_points = [&](BlockKind kind) {
+    for (std::size_t left : contexts) {
+      for (Label s0 = 0; s0 < ts.num_inputs(); ++s0) {
+        for (Label s1 = 0; s1 < ts.num_inputs(); ++s1) {
+          for (std::size_t right : contexts) {
+            search.domain.push_back(BlockPoint{kind, left, s0, s1, right});
+          }
+        }
+      }
+    }
+  };
+  add_points(BlockKind::kInterior);
+  if (!cycle) {
+    add_points(BlockKind::kLeftEnd);
+    add_points(BlockKind::kRightEnd);
+  }
+
+  const std::size_t n_points = search.domain.size();
+
+  // Reversal map over points (undirected only; identity otherwise).
+  std::unordered_map<BlockPoint, std::size_t, BlockPointHash> point_index;
+  for (std::size_t i = 0; i < n_points; ++i) point_index.emplace(search.domain[i], i);
+  search.rho.resize(n_points);
+  for (std::size_t i = 0; i < n_points; ++i) {
+    if (directed) {
+      search.rho[i] = i;
+      continue;
+    }
+    const BlockPoint& p = search.domain[i];
+    BlockKind kind = p.kind;
+    if (kind == BlockKind::kLeftEnd) kind = BlockKind::kRightEnd;
+    else if (kind == BlockKind::kRightEnd) kind = BlockKind::kLeftEnd;
+    BlockPoint r{kind, monoid.reversed_index(p.right), p.s1, p.s0,
+                 monoid.reversed_index(p.left)};
+    auto it = point_index.find(r);
+    if (it == point_index.end()) {
+      throw std::logic_error("decide_linear_gap: reversed point missing from domain");
+    }
+    search.rho[i] = it->second;
+  }
+
+  // Candidate filters.
+  search.candidates.resize(n_points);
+  for (std::size_t i = 0; i < n_points; ++i) {
+    const BlockPoint& p = search.domain[i];
+    for (Label va = 0; va < beta; ++va) {
+      if (!problem.node_ok(p.s0, va)) continue;
+      for (Label vb = 0; vb < beta; ++vb) {
+        if (!problem.node_ok(p.s1, vb)) continue;
+        if (!problem.edge_ok(va, vb)) continue;
+        if (p.kind == BlockKind::kLeftEnd) {
+          // Prefix completability: (pvec(left) * A(s0)) [va].
+          BitVector v = monoid.element(p.left).pvec.multiplied(ts.step(p.s0));
+          if (!v.get(va)) continue;
+        }
+        if (p.kind == BlockKind::kRightEnd) {
+          // Suffix completability: the chain from vb through the suffix
+          // must reach an output allowed at the path's last node.
+          if (!(search.row_of(p.right, vb) & ts.last_mask()).any()) continue;
+        }
+        search.candidates[i].push_back(BlockValue{va, vb});
+      }
+    }
+    if (search.candidates[i].empty()) {
+      return cert;  // some block can never be labeled: infeasible
+    }
+  }
+
+  // Arc-consistency pruning on the forward/forward combo (a necessary
+  // condition for any placement): a value v1 at a left-role point p1 needs,
+  // for *every* right-role p2, some partner v2 with
+  // G(p1.right, p2.left, p2.s0)[v1.b][v2.a] — and symmetrically. Because
+  // the condition only reads (p1.right, v1.b) on one side and
+  // (p2.left, p2.s0, v2.a) on the other, supports can be aggregated per
+  // context element; iterate to a fixpoint.
+  {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      // allowed_b[elemR] = symbols sym1 such that for every right-role p2
+      // some v2 in cand(p2) glues from sym1.
+      std::unordered_map<std::size_t, BitVector> allowed_b;
+      for (std::size_t elemR : contexts) {
+        BitVector all = BitVector::ones(beta);
+        for (std::size_t p2 = 0; p2 < n_points; ++p2) {
+          if (!search.right_role(p2)) continue;
+          const BlockPoint& b = search.domain[p2];
+          BitVector a_set(beta);
+          for (const BlockValue& v2 : search.candidates[p2]) a_set.set(v2.a, true);
+          const BitMatrix& g = search.glue_matrix(elemR, b.left, b.s0);
+          BitVector supported(beta);
+          for (Label sym1 = 0; sym1 < beta; ++sym1) {
+            BitVector row(beta);
+            for (Label sym2 = 0; sym2 < beta; ++sym2) row.set(sym2, g.get(sym1, sym2));
+            if (row.intersects(a_set)) supported.set(sym1, true);
+          }
+          all = all & supported;
+          if (!all.any()) break;
+        }
+        allowed_b.emplace(elemR, std::move(all));
+      }
+      for (std::size_t p1 = 0; p1 < n_points; ++p1) {
+        if (!search.left_role(p1)) continue;
+        auto& cand = search.candidates[p1];
+        const BitVector& ok = allowed_b.at(search.domain[p1].right);
+        const std::size_t before = cand.size();
+        std::erase_if(cand, [&](const BlockValue& v) { return !ok.get(v.b); });
+        if (cand.size() != before) changed = true;
+        if (cand.empty()) return cert;
+      }
+      // Mirror direction: allowed_a[(elemL, s0)].
+      std::unordered_map<std::size_t, BitVector> allowed_a;
+      for (std::size_t elemL : contexts) {
+        for (Label s0 = 0; s0 < ts.num_inputs(); ++s0) {
+          BitVector all = BitVector::ones(beta);
+          for (std::size_t p1 = 0; p1 < n_points; ++p1) {
+            if (!search.left_role(p1)) continue;
+            const BlockPoint& a = search.domain[p1];
+            BitVector b_set(beta);
+            for (const BlockValue& v1 : search.candidates[p1]) b_set.set(v1.b, true);
+            const BitMatrix& g = search.glue_matrix(a.right, elemL, s0);
+            BitVector supported = b_set.multiplied(g);
+            all = all & supported;
+            if (!all.any()) break;
+          }
+          allowed_a.emplace(hash_mix(elemL, s0), std::move(all));
+        }
+      }
+      for (std::size_t p2 = 0; p2 < n_points; ++p2) {
+        if (!search.right_role(p2)) continue;
+        auto& cand = search.candidates[p2];
+        const BitVector& ok =
+            allowed_a.at(hash_mix(search.domain[p2].left, search.domain[p2].s0));
+        const std::size_t before = cand.size();
+        std::erase_if(cand, [&](const BlockValue& v) { return !ok.get(v.a); });
+        if (cand.size() != before) changed = true;
+        if (cand.empty()) return cert;
+      }
+    }
+  }
+
+  // The search couples each point with its reversed point; assign values
+  // jointly to the orbit {p, rho(p)}. Representatives: min index of orbit.
+  std::vector<std::size_t> rep_of(n_points);
+  std::vector<std::size_t> orbit_reps;
+  for (std::size_t i = 0; i < n_points; ++i) {
+    const std::size_t r = std::min(i, search.rho[i]);
+    rep_of[i] = r;
+    if (r == i) orbit_reps.push_back(i);
+  }
+
+  // Assignment: value per point (both orbit members assigned together,
+  // independently chosen — the orbit grouping only orders the search).
+  std::vector<int> chosen(n_points, -1);
+
+  // Check a tentative full-pair constraint between two *assigned* points.
+  auto assigned_pair_ok = [&](std::size_t p1, std::size_t p2) {
+    if (!search.left_role(p1) || !search.right_role(p2)) return true;
+    const BlockValue v1 = search.candidates[p1][static_cast<std::size_t>(chosen[p1])];
+    const BlockValue v2 = search.candidates[p2][static_cast<std::size_t>(chosen[p2])];
+    const std::size_t r1 = search.rho[p1];
+    const std::size_t r2 = search.rho[p2];
+    if (chosen[r1] < 0 || chosen[r2] < 0) return true;  // rechecked when assigned
+    const BlockValue rv1 = search.candidates[r1][static_cast<std::size_t>(chosen[r1])];
+    const BlockValue rv2 = search.candidates[r2][static_cast<std::size_t>(chosen[r2])];
+    return search.pair_ok(p1, v1, rv1, p2, v2, rv2);
+  };
+
+  // Backtracking over orbit representatives in order; for each, try all
+  // value pairs for (rep, rho(rep)).
+  const auto try_assign = [&](auto&& self, std::size_t orbit_pos) -> bool {
+    if (orbit_pos == orbit_reps.size()) return true;
+    const std::size_t p = orbit_reps[orbit_pos];
+    const std::size_t q = search.rho[p];
+    const std::size_t nq = search.candidates[q].size();
+    const std::size_t np = search.candidates[p].size();
+    for (std::size_t vi = 0; vi < np; ++vi) {
+      chosen[p] = static_cast<int>(vi);
+      const std::size_t q_options = (q == p) ? 1 : nq;
+      for (std::size_t qi = 0; qi < q_options; ++qi) {
+        if (q != p) chosen[q] = static_cast<int>(qi);
+        // Check all constraints among assigned points that involve p or q.
+        bool ok = true;
+        for (std::size_t other = 0; other < n_points && ok; ++other) {
+          if (chosen[other] < 0) continue;
+          ok = assigned_pair_ok(p, other) && assigned_pair_ok(other, p);
+          if (ok && q != p) ok = assigned_pair_ok(q, other) && assigned_pair_ok(other, q);
+        }
+        if (ok && self(self, orbit_pos + 1)) return true;
+        if (q != p) chosen[q] = -1;
+      }
+      chosen[p] = -1;
+    }
+    return false;
+  };
+
+  if (!try_assign(try_assign, 0)) return cert;
+
+  cert.feasible = true;
+  cert.domain = search.domain;
+  cert.choice.reserve(n_points);
+  for (std::size_t i = 0; i < n_points; ++i) {
+    cert.choice.push_back(search.candidates[i][static_cast<std::size_t>(chosen[i])]);
+    cert.index.emplace(search.domain[i], i);
+  }
+  return cert;
+}
+
+}  // namespace lclpath

@@ -1,0 +1,91 @@
+// The omega(log* n) -- o(n) gap decider (paper Section 4.2, Theorem 8).
+//
+// An LCL on cycles is solvable in O(log* n) rounds iff a "feasible
+// function" f exists: f labels each well-spaced separator block S of 2r
+// nodes, given the input words w1 (left context) and w2 (right context) of
+// length ell_ctx or ell_ctx + 1, such that any two labeled blocks can
+// always be glued by completing the unlabeled context between them
+// (paper's requirement on wa..wd, S1, S2).
+//
+// Extendibility depends on contexts only through their monoid elements
+// (Lemmas 10-11), so the search runs over *domain points*
+//
+//     p = (kind, left element, S = (s0, s1), right element)
+//
+// with elements drawn from the layers at lengths {ell_ctx, ell_ctx+1}.
+// Candidate block values v = (va, vb) must pass the local filter
+//
+//     node(s0, va) & node(s1, vb) & edge(va, vb)
+//
+// plus endpoint filters on path topologies (left ends use prefix vectors,
+// right ends use forward rows). The gluing constraint for an ordered pair
+// (p1 -> p2) across the middle wb ◦ wc (wb = p1's right context, wc = p2's
+// left context) is the reachability
+//
+//     [ e_{v1.b} * N(wb) * N(wc) * A(s0 of p2) ] (v2.a)  != 0.
+//
+// Feasibility = existence of one value per domain point satisfying every
+// ordered pair constraint (including p1 == p2); we solve this by
+// arc-consistency pruning followed by backtracking, and return the chosen
+// values — they are the synthesized O(log* n) algorithm's lookup table
+// (Lemma 17).
+//
+// Undirected topologies additionally quantify over the four
+// orientation combinations of the paper's requirement; the reversal of a
+// domain point is another domain point (the monoid tracks reversed
+// matrices), and the search checks all placement combos.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "automata/monoid.hpp"
+
+namespace lclpath {
+
+/// Output labels of a separator block (2r = 2 nodes).
+struct BlockValue {
+  Label a = 0;
+  Label b = 0;
+  bool operator==(const BlockValue&) const = default;
+};
+
+/// Role of a separator block along a path; cycles only use kInterior.
+enum class BlockKind : std::uint8_t { kInterior, kLeftEnd, kRightEnd };
+
+struct BlockPoint {
+  BlockKind kind = BlockKind::kInterior;
+  std::size_t left = 0;   ///< monoid element of the left context (prefix for kLeftEnd)
+  Label s0 = 0, s1 = 0;   ///< inputs of the block
+  std::size_t right = 0;  ///< monoid element of the right context (suffix for kRightEnd)
+
+  bool operator==(const BlockPoint&) const = default;
+};
+
+struct BlockPointHash {
+  std::size_t operator()(const BlockPoint& p) const;
+};
+
+struct LinearGapCertificate {
+  bool feasible = false;
+  /// Context length used for the domain (monoid size + margin).
+  std::size_t ell_ctx = 0;
+  /// The feasible function as an explicit table (empty if !feasible).
+  std::vector<BlockPoint> domain;
+  std::vector<BlockValue> choice;
+
+  /// Runtime lookup for the synthesized algorithm; throws if the point is
+  /// not in the domain (indicates a synthesis bug).
+  BlockValue value_at(const BlockPoint& point) const;
+
+  std::unordered_map<BlockPoint, std::size_t, BlockPointHash> index;
+};
+
+/// Decides feasibility (hence the Theta(log* n) vs Theta(n) side of the
+/// gap) for a solvable problem. The problem's topology decides endpoint
+/// handling and orientation combos.
+LinearGapCertificate decide_linear_gap(const Monoid& monoid);
+
+}  // namespace lclpath

@@ -1,0 +1,508 @@
+#include "decide/synthesized.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+
+#include "local/decomposition.hpp"
+
+namespace lclpath {
+
+namespace {
+
+/// Canonical whole-cycle solve for small n: all nodes see everything and
+/// agree on the rotation anchored at the minimum ID.
+Label solve_full_cycle(const PairwiseProblem& problem, const View& view) {
+  if (view.size() != view.n) {
+    throw std::logic_error("synthesized: expected a full-cycle view");
+  }
+  const std::size_t anchor = static_cast<std::size_t>(
+      std::min_element(view.ids.begin(), view.ids.end()) - view.ids.begin());
+  Word canonical(view.n);
+  for (std::size_t k = 0; k < view.n; ++k) canonical[k] = view.inputs[(anchor + k) % view.n];
+  auto solution = solve_by_dp(problem, canonical);
+  if (!solution) throw std::runtime_error("synthesized: unsolvable instance");
+  return (*solution)[(view.n - anchor + view.center) % view.n];
+}
+
+PairwiseProblem as_path(const PairwiseProblem& problem) {
+  PairwiseProblem p = problem;
+  p.set_topology(Topology::kDirectedPath);
+  return p;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SynthesizedLogStar (Lemma 17)
+// ---------------------------------------------------------------------------
+
+SynthesizedLogStar::SynthesizedLogStar(const Monoid& monoid,
+                                       const LinearGapCertificate& certificate)
+    : monoid_(&monoid), cert_(&certificate) {
+  if (!certificate.feasible) {
+    throw std::invalid_argument("SynthesizedLogStar: certificate is infeasible");
+  }
+  const std::size_t min_gap = 2 * certificate.ell_ctx + 6;
+  gap_ = ruling_min_gap(min_gap);
+  radius_ = ruling_radius(min_gap) + 6 * gap_ + 16;
+}
+
+std::size_t SynthesizedLogStar::radius(std::size_t /*n*/) const { return radius_; }
+
+Label SynthesizedLogStar::run(const View& view) const {
+  const PairwiseProblem& problem = monoid_->transitions().problem();
+  if (!is_cycle(view.topology) || !is_directed(view.topology)) {
+    throw std::invalid_argument("SynthesizedLogStar: directed cycles only");
+  }
+  if (view.size() == view.n) return solve_full_cycle(problem, view);
+  return run_large(view);
+}
+
+Label SynthesizedLogStar::run_large(const View& view) const {
+  const PairwiseProblem& problem = monoid_->transitions().problem();
+  const std::size_t min_gap = 2 * cert_->ell_ctx + 6;
+  const std::vector<char> member = ruling_members_window(view.ids, min_gap);
+  const std::size_t len = view.size();
+  const std::size_t c = view.center;
+
+  // Member positions around the center (trusted: margins sized in ctor).
+  auto prev_member = [&](std::size_t from) -> std::size_t {
+    for (std::size_t i = from;; --i) {
+      if (member[i]) return i;
+      if (i == 0) throw std::logic_error("logstar: no member to the left in window");
+    }
+  };
+  auto next_member = [&](std::size_t from) -> std::size_t {
+    for (std::size_t i = from; i < len; ++i) {
+      if (member[i]) return i;
+    }
+    throw std::logic_error("logstar: no member to the right in window");
+  };
+
+  // The feasible-function value of the block anchored at member position v
+  // (block nodes: v, v + 1), from the half-segment contexts.
+  auto block_value = [&](std::size_t v) -> BlockValue {
+    const std::size_t left_member = prev_member(v - 1);
+    const std::size_t right_member = next_member(v + 2);
+    // Left B-segment: (left_member + 2 .. v - 1]; its right half is w1.
+    const std::size_t zb_left = v - left_member - 2;
+    const std::size_t half_left = zb_left / 2;
+    Word w1(view.inputs.begin() + static_cast<std::ptrdiff_t>(left_member + 2 + half_left),
+            view.inputs.begin() + static_cast<std::ptrdiff_t>(v));
+    // Right B-segment: [v + 2 .. right_member - 1]; its left half is w2.
+    const std::size_t zb_right = right_member - v - 2;
+    const std::size_t half_right = zb_right / 2;
+    Word w2(view.inputs.begin() + static_cast<std::ptrdiff_t>(v + 2),
+            view.inputs.begin() + static_cast<std::ptrdiff_t>(v + 2 + half_right));
+    BlockPoint point;
+    point.kind = BlockKind::kInterior;
+    point.left = monoid_->of_word(w1);
+    point.s0 = view.inputs[v];
+    point.s1 = view.inputs[v + 1];
+    point.right = monoid_->of_word(w2);
+    return cert_->value_at(point);
+  };
+
+  // Which block/segment does the center belong to?
+  if (member[c]) {
+    return block_value(c).a;
+  }
+  if (c > 0 && member[c - 1]) {
+    return block_value(c - 1).b;
+  }
+  // Center lies in a B-segment between the blocks at members u and w.
+  const std::size_t u = prev_member(c);
+  const std::size_t w = next_member(c);
+  const BlockValue left_value = block_value(u);
+  const BlockValue right_value = block_value(w);
+  // Complete the sub-path [u .. w + 1] with the four block labels fixed.
+  const Word sub(view.inputs.begin() + static_cast<std::ptrdiff_t>(u),
+                 view.inputs.begin() + static_cast<std::ptrdiff_t>(w + 2));
+  std::vector<std::optional<Label>> fixed(sub.size());
+  fixed[0] = left_value.a;
+  fixed[1] = left_value.b;
+  fixed[sub.size() - 2] = right_value.a;
+  fixed[sub.size() - 1] = right_value.b;
+  const PairwiseProblem path_problem = as_path(problem);
+  auto completion = complete_by_dp(path_problem, sub, fixed);
+  if (!completion) {
+    throw std::logic_error("logstar: segment completion failed (gluing violated)");
+  }
+  return (*completion)[c - u];
+}
+
+// ---------------------------------------------------------------------------
+// SynthesizedConstant (Lemma 27)
+// ---------------------------------------------------------------------------
+
+SynthesizedConstant::SynthesizedConstant(const Monoid& monoid,
+                                         const ConstGapCertificate& certificate)
+    : monoid_(&monoid), cert_(&certificate) {
+  if (!certificate.feasible) {
+    throw std::invalid_argument("SynthesizedConstant: certificate is infeasible");
+  }
+  ell_ = certificate.ell_ctx;
+  const std::size_t p0 = ell_ + 3;  // maximum claimed period
+  scale_ = (2 * ell_ + 6) * p0;     // L0: periodic-run threshold at max period
+  domin_ = (monoid.transitions().num_inputs() + 2) * scale_;  // seed domination D
+  radius_ = 7 * domin_ + 10 * scale_ + 64;
+}
+
+Label SynthesizedConstant::run(const View& view) const {
+  const PairwiseProblem& problem = monoid_->transitions().problem();
+  if (!is_cycle(view.topology) || !is_directed(view.topology)) {
+    throw std::invalid_argument("SynthesizedConstant: directed cycles only");
+  }
+  if (view.size() == view.n) return solve_full_cycle(problem, view);
+  return run_large(view);
+}
+
+namespace {
+
+/// Per-window analysis for the O(1) algorithm. All coordinates are
+/// window-relative; structures are content-determined, hence identical
+/// across the overlapping windows of nearby nodes.
+struct ConstAnalysis {
+  const Monoid& monoid;
+  const TransitionSystem& ts;
+  const PairwiseProblem& problem;
+  const ConstGapCertificate& cert;
+  const Word& in;
+  std::size_t len;
+  std::size_t ell, p0, buffer_blocks, pump_blocks, scale, domin;
+
+  /// Periodic-region claims: period[i] = claimed primitive period (0 if
+  /// none); run_begin/run_end[i] = maximal run extent (clipped at window).
+  std::vector<std::size_t> period, run_begin, run_end;
+  /// anchored[i]: inside a claimed region, at least buffer_blocks * q from
+  /// both visible run ends.
+  std::vector<char> anchored;
+  std::vector<Label> anchor_label;
+
+  /// Seed flags (chunk boundaries in irregular zones).
+  std::vector<char> seed;
+
+  ConstAnalysis(const Monoid& m, const ConstGapCertificate& c, const Word& inputs,
+                std::size_t ell_pump, std::size_t scale_in, std::size_t domin_in)
+      : monoid(m),
+        ts(m.transitions()),
+        problem(m.transitions().problem()),
+        cert(c),
+        in(inputs),
+        len(inputs.size()),
+        ell(ell_pump),
+        p0(ell_pump + 3),
+        buffer_blocks(ell_pump + 1),
+        pump_blocks(2 * ell_pump + 8),
+        scale(scale_in),
+        domin(domin_in) {
+    find_periodic_regions();
+    find_anchors();
+    find_seeds();
+  }
+
+  /// Lexicographically smallest valid periodic labeling of the pattern w
+  /// whose first/last labels follow the certificate's choice for w's
+  /// monoid element.
+  Word periodic_labeling(const Word& w) const {
+    const std::size_t e = monoid.of_word(w);
+    const PeriodicChoice choice = cert.choice_for(e);
+    PairwiseProblem cycle_problem = problem;
+    cycle_problem.set_topology(Topology::kDirectedCycle);
+    std::vector<std::optional<Label>> fixed(w.size());
+    fixed[0] = choice.first;
+    fixed[w.size() - 1] = choice.last;
+    auto labeling = complete_by_dp(cycle_problem, w, fixed);
+    if (!labeling) {
+      throw std::logic_error("constant: certificate periodic labeling does not exist");
+    }
+    return *labeling;
+  }
+
+  void find_periodic_regions() {
+    period.assign(len, 0);
+    run_begin.assign(len, 0);
+    run_end.assign(len, 0);
+    for (std::size_t q = 1; q <= p0; ++q) {
+      const std::size_t threshold = (2 * ell + 6) * q;
+      std::size_t i = 0;
+      while (i + q < len) {
+        if (in[i] != in[i + q]) {
+          ++i;
+          continue;
+        }
+        // Maximal match run starting at i.
+        std::size_t j = i;
+        while (j + q < len && in[j] == in[j + q]) ++j;
+        const std::size_t begin = i;
+        const std::size_t end = j + q;  // exclusive: the periodic run
+        if (end - begin >= threshold) {
+          for (std::size_t k = begin; k < end; ++k) {
+            if (period[k] == 0) {
+              period[k] = q;
+              run_begin[k] = begin;
+              run_end[k] = end;
+            }
+          }
+        }
+        i = j + 1;
+      }
+    }
+  }
+
+  void find_anchors() {
+    anchored.assign(len, 0);
+    anchor_label.assign(len, 0);
+    // Cache periodic labelings per canonical pattern.
+    std::unordered_map<std::size_t, Word> labeling_cache;  // hash of word -> labeling
+    std::unordered_map<std::size_t, Word> word_cache;
+    for (std::size_t i = 0; i < len; ++i) {
+      const std::size_t q = period[i];
+      if (q == 0) continue;
+      const std::size_t margin = buffer_blocks * q + q;
+      if (i < run_begin[i] + margin || i + margin >= run_end[i]) continue;
+      // Canonical rotation of the period and the phase of i within it.
+      Word rotation(in.begin() + static_cast<std::ptrdiff_t>(i),
+                    in.begin() + static_cast<std::ptrdiff_t>(i + q));
+      Word canon = rotation;
+      std::size_t phase = 0;
+      for (std::size_t s = 1; s < q; ++s) {
+        Word candidate;
+        candidate.reserve(q);
+        for (std::size_t k = 0; k < q; ++k) candidate.push_back(rotation[(s + k) % q]);
+        if (candidate < canon) {
+          canon = candidate;
+          phase = (q - s) % q;
+        }
+      }
+      // phase: index of i within canon. canon[k] = rotation[(s*+k) % q]
+      // where s* minimizes; i corresponds to rotation[0] = canon[phase].
+      std::size_t h = hash_mix(0xC0, q);
+      for (Label l : canon) h = hash_mix(h, l);
+      auto it = labeling_cache.find(h);
+      if (it == labeling_cache.end() || word_cache[h] != canon) {
+        labeling_cache[h] = periodic_labeling(canon);
+        word_cache[h] = canon;
+        it = labeling_cache.find(h);
+      }
+      anchored[i] = 1;
+      anchor_label[i] = it->second[phase];
+    }
+  }
+
+  /// Lexicographic comparison of the length-scale windows at a and b.
+  int compare_windows(std::size_t a, std::size_t b) const {
+    for (std::size_t k = 0; k < scale; ++k) {
+      const Label x = in[a + k];
+      const Label y = in[b + k];
+      if (x != y) return x < y ? -1 : 1;
+    }
+    return 0;
+  }
+
+  void find_seeds() {
+    seed.assign(len, 0);
+    // Candidate positions: window fully inside the window and fully
+    // unclaimed (irregular zone).
+    std::vector<char> candidate(len, 0);
+    {
+      std::size_t unclaimed_run = 0;
+      for (std::size_t i = 0; i < len; ++i) {
+        unclaimed_run = period[i] == 0 ? unclaimed_run + 1 : 0;
+        if (unclaimed_run >= scale && i + 1 >= scale) candidate[i + 1 - scale] = 1;
+      }
+    }
+    // Sliding-window maximum over the candidate windows (monotonic deque:
+    // O(len) amortized comparisons instead of O(len * domin)).
+    std::deque<std::size_t> deque;
+    std::size_t next_to_add = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+      const std::size_t hi = std::min(len - 1, i + domin);
+      while (next_to_add <= hi) {
+        if (candidate[next_to_add]) {
+          while (!deque.empty() && compare_windows(deque.back(), next_to_add) < 0) {
+            deque.pop_back();
+          }
+          deque.push_back(next_to_add);
+        }
+        ++next_to_add;
+      }
+      const std::size_t lo = i >= domin ? i - domin : 0;
+      while (!deque.empty() && deque.front() < lo) deque.pop_front();
+      if (!candidate[i]) continue;
+      // Seed iff no window in range is strictly larger.
+      seed[i] = (!deque.empty() && compare_windows(deque.front(), i) > 0) ? 0 : 1;
+    }
+  }
+};
+
+/// Virtual sequence entry (Lemma 27's pumped graph G').
+struct VirtualEntry {
+  Label input = 0;
+  std::optional<Label> fixed;
+  std::ptrdiff_t real = -1;  ///< window position, or -1 for pumped inserts
+};
+
+}  // namespace
+
+Label SynthesizedConstant::run_large(const View& view) const {
+  const PairwiseProblem& problem = monoid_->transitions().problem();
+  ConstAnalysis az(*monoid_, *cert_, view.inputs, ell_, scale_, domin_);
+  const std::size_t len = view.size();
+  const std::size_t c = view.center;
+
+  if (az.anchored[c]) return az.anchor_label[c];
+
+  // Chunks: [seed_j, seed_{j+1}) within irregular stretches; interiors
+  // (chunk minus 2-node joints on each side) of length >= ell + 1 are
+  // pumped and virtually anchored.
+  // Identify the chunk interiors intersecting the window.
+  struct Interior {
+    std::size_t begin, end;          // real window positions [begin, end)
+    PumpDecomposition pump;          // interior = x y z
+    Word y_labeling;                 // chosen periodic labeling of y
+  };
+  std::vector<Interior> interiors;
+  {
+    std::vector<std::size_t> seeds;
+    for (std::size_t i = 0; i < len; ++i) {
+      if (az.seed[i]) seeds.push_back(i);
+    }
+    for (std::size_t j = 0; j + 1 < seeds.size(); ++j) {
+      const std::size_t cb = seeds[j];
+      const std::size_t ce = seeds[j + 1];
+      if (ce - cb < ell_ + 5) continue;  // interior too short to pump
+      Interior interior;
+      interior.begin = cb + 2;
+      interior.end = ce - 2;
+      const Word word(view.inputs.begin() + static_cast<std::ptrdiff_t>(interior.begin),
+                      view.inputs.begin() + static_cast<std::ptrdiff_t>(interior.end));
+      auto pump = pump_decomposition(*monoid_, word);
+      if (!pump) {
+        throw std::logic_error("constant: chunk interior not pumpable");
+      }
+      interior.pump = *pump;
+      interior.y_labeling = az.periodic_labeling(interior.pump.y);
+      interiors.push_back(std::move(interior));
+    }
+  }
+  auto interior_of = [&](std::size_t pos) -> const Interior* {
+    for (const Interior& it : interiors) {
+      if (pos >= it.begin && pos < it.end) return &it;
+    }
+    return nullptr;
+  };
+
+  // Build the virtual sequence over the whole window.
+  std::vector<VirtualEntry> vseq;
+  vseq.reserve(2 * len);
+  std::vector<std::size_t> v_of_real(len, 0);
+  {
+    std::size_t i = 0;
+    while (i < len) {
+      const Interior* interior = interior_of(i);
+      if (interior == nullptr) {
+        VirtualEntry e;
+        e.input = view.inputs[i];
+        e.real = static_cast<std::ptrdiff_t>(i);
+        if (az.anchored[i]) e.fixed = az.anchor_label[i];
+        v_of_real[i] = vseq.size();
+        vseq.push_back(e);
+        ++i;
+        continue;
+      }
+      // Emit the pumped interior: x, y^K (with the middle blocks fixed to
+      // the periodic labeling), z. Real positions map to the x/z parts for
+      // bookkeeping; inserted nodes carry real = -1.
+      const std::size_t k_blocks = 2 * ell_ + 8;
+      const Word& x = interior->pump.x;
+      const Word& y = interior->pump.y;
+      const Word& z = interior->pump.z;
+      for (std::size_t t = 0; t < x.size(); ++t) {
+        VirtualEntry e;
+        e.input = x[t];
+        e.real = static_cast<std::ptrdiff_t>(interior->begin + t);
+        v_of_real[interior->begin + t] = vseq.size();
+        vseq.push_back(e);
+      }
+      for (std::size_t b = 0; b < k_blocks; ++b) {
+        const bool anchored_block = b >= ell_ + 2 && b + ell_ + 2 < k_blocks;
+        for (std::size_t t = 0; t < y.size(); ++t) {
+          VirtualEntry e;
+          e.input = y[t];
+          e.real = -1;
+          if (anchored_block) e.fixed = interior->y_labeling[t];
+          vseq.push_back(e);
+        }
+      }
+      for (std::size_t t = 0; t < z.size(); ++t) {
+        VirtualEntry e;
+        e.input = z[t];
+        e.real = static_cast<std::ptrdiff_t>(interior->end - z.size() + t);
+        v_of_real[interior->end - z.size() + t] = vseq.size();
+        vseq.push_back(e);
+      }
+      // Map the remaining interior positions (the pumped-away middle) to
+      // their x-end; they are never queried directly.
+      for (std::size_t t = interior->begin + x.size(); t < interior->end - z.size(); ++t) {
+        v_of_real[t] = v_of_real[interior->begin];
+      }
+      i = interior->end;
+    }
+  }
+
+  const PairwiseProblem path_problem = as_path(problem);
+
+  // Deterministic completion of the maximal unlabeled virtual run that
+  // contains virtual index vi, between the neighboring fixed anchors.
+  auto complete_gap_at = [&](std::size_t vi) -> Label {
+    if (vseq[vi].fixed) return *vseq[vi].fixed;
+    std::size_t a = vi;
+    while (a > 0 && !vseq[a - 1].fixed) --a;
+    std::size_t b = vi;
+    while (b + 1 < vseq.size() && !vseq[b + 1].fixed) ++b;
+    if (a < 2 || b + 2 >= vseq.size()) {
+      throw std::logic_error("constant: virtual gap not enclosed by anchors in window");
+    }
+    const std::size_t lo = a - 2;
+    const std::size_t hi = b + 2;  // inclusive
+    Word sub;
+    std::vector<std::optional<Label>> fixed;
+    for (std::size_t t = lo; t <= hi; ++t) {
+      sub.push_back(vseq[t].input);
+      fixed.push_back(vseq[t].fixed);
+    }
+    auto completion = complete_by_dp(path_problem, sub, fixed);
+    if (!completion) {
+      throw std::logic_error("constant: virtual gap completion failed (gluing violated)");
+    }
+    return (*completion)[vi - lo];
+  };
+
+  const Interior* home = interior_of(c);
+  if (home == nullptr) {
+    return complete_gap_at(v_of_real[c]);
+  }
+  // Pull-back: real labels of the interior from a DP fixing the 2 + 2
+  // real boundary nodes to their virtual-gap labels (the forward matrix of
+  // the pumped interior equals the real interior's, so a completion
+  // exists; Lemmas 10-11).
+  const std::size_t ib = home->begin;
+  const std::size_t ie = home->end;
+  Word sub(view.inputs.begin() + static_cast<std::ptrdiff_t>(ib - 2),
+           view.inputs.begin() + static_cast<std::ptrdiff_t>(ie + 2));
+  std::vector<std::optional<Label>> fixed(sub.size());
+  fixed[0] = complete_gap_at(v_of_real[ib - 2]);
+  fixed[1] = complete_gap_at(v_of_real[ib - 1]);
+  fixed[sub.size() - 2] = complete_gap_at(v_of_real[ie]);
+  fixed[sub.size() - 1] = complete_gap_at(v_of_real[ie + 1]);
+  auto completion = complete_by_dp(path_problem, sub, fixed);
+  if (!completion) {
+    throw std::logic_error("constant: interior pull-back failed (type mismatch)");
+  }
+  return (*completion)[c - (ib - 2)];
+}
+
+}  // namespace lclpath

@@ -1,0 +1,73 @@
+// Executable synthesized algorithms for the three complexity classes
+// (directed cycles; the classifier itself supports all four topologies).
+//
+//  * SynthesizedLinear — Theta(n): gather everything, canonical DP
+//    (GatherAllAlgorithm; the paper's Section 3.3 upper-bound baseline).
+//
+//  * SynthesizedLogStar — Theta(log* n), Lemma 17: a ruling set with gaps
+//    in [m, 2m] places 2r-node separator blocks; each block labels itself
+//    with the feasible function of the linear-gap certificate applied to
+//    its half-segment contexts; segments between blocks complete by
+//    deterministic DP (existence guaranteed by the gluing requirement).
+//
+//  * SynthesizedConstant — O(1), Lemma 27: partition the cycle into long
+//    periodic regions (anchored by the const-gap certificate's periodic
+//    labelings) and irregular chunks (anchored by *virtually pumping* the
+//    chunk and labeling the pumped middle periodically); complete virtual
+//    gaps by DP and pull chunk labels back through the type-preserving
+//    replacement (Lemmas 10-11). Symmetry inside irregular stretches is
+//    broken by input irregularity alone — window-lexicographic local
+//    maxima — never by IDs, which is what makes the algorithm O(1).
+#pragma once
+
+#include <memory>
+
+#include "automata/monoid.hpp"
+#include "automata/pumping.hpp"
+#include "decide/const_gap.hpp"
+#include "decide/linear_gap.hpp"
+#include "local/simulator.hpp"
+
+namespace lclpath {
+
+class SynthesizedLogStar final : public LocalAlgorithm {
+ public:
+  SynthesizedLogStar(const Monoid& monoid, const LinearGapCertificate& certificate);
+
+  std::string name() const override { return "synthesized-logstar"; }
+  std::size_t radius(std::size_t n) const override;
+  Label run(const View& view) const override;
+
+  std::size_t block_gap() const { return gap_; }
+
+ private:
+  const Monoid* monoid_;
+  const LinearGapCertificate* cert_;
+  std::size_t gap_ = 0;     ///< ruling-set minimum gap m (power of two)
+  std::size_t radius_ = 0;  ///< constant part of the view radius
+
+  Label run_large(const View& view) const;
+};
+
+class SynthesizedConstant final : public LocalAlgorithm {
+ public:
+  SynthesizedConstant(const Monoid& monoid, const ConstGapCertificate& certificate);
+
+  std::string name() const override { return "synthesized-constant"; }
+  std::size_t radius(std::size_t /*n*/) const override { return radius_; }
+  Label run(const View& view) const override;
+
+  std::size_t ell_pump() const { return ell_; }
+
+ private:
+  const Monoid* monoid_;
+  const ConstGapCertificate* cert_;
+  std::size_t ell_ = 0;      ///< pump threshold (monoid size + margin)
+  std::size_t scale_ = 0;    ///< L0: periodic-region length threshold
+  std::size_t domin_ = 0;    ///< D: seed domination radius
+  std::size_t radius_ = 0;
+
+  Label run_large(const View& view) const;
+};
+
+}  // namespace lclpath

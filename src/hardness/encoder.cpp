@@ -1,0 +1,134 @@
+#include "hardness/encoder.hpp"
+
+#include <stdexcept>
+
+namespace lclpath::hardness {
+
+std::size_t encoding_length(std::size_t tape_size, std::size_t steps) {
+  return 1 + (steps + 1) * (tape_size + 1);
+}
+
+std::vector<InLabel> good_input(const lba::Machine& machine, std::size_t tape_size,
+                                Secret secret, std::size_t steps, std::size_t n) {
+  const std::size_t need = encoding_length(tape_size, steps);
+  if (n < need) {
+    throw std::invalid_argument("good_input: path too short for the encoding (" +
+                                std::to_string(need) + " nodes needed)");
+  }
+  std::vector<InLabel> input(n, InLabel{InKind::kEmpty, lba::Symbol::k0, 0, false});
+  input[0].kind = secret == Secret::kA ? InKind::kStartA : InKind::kStartB;
+
+  lba::Configuration config = lba::initial_configuration(machine, tape_size);
+  std::size_t pos = 1;
+  for (std::size_t step = 0; step <= steps; ++step) {
+    input[pos].kind = InKind::kSeparator;
+    ++pos;
+    for (std::size_t j = 0; j < tape_size; ++j) {
+      InLabel& cell = input[pos + j];
+      cell.kind = InKind::kTape;
+      cell.content = config.tape[j];
+      cell.state = config.state;
+      cell.head = config.head == j;
+    }
+    pos += tape_size;
+    if (step < steps) config = lba::step(machine, config);
+  }
+  return input;
+}
+
+std::vector<InLabel> corrupt(const lba::Machine& machine, std::size_t tape_size,
+                             std::vector<InLabel> input, Corruption corruption,
+                             std::size_t block) {
+  // Block b (1-based) occupies positions [1 + (b-1)(B+1), 1 + b(B+1)).
+  const std::size_t begin = 1 + (block - 1) * (tape_size + 1);
+  const std::size_t cells = begin + 1;  // first tape cell of the block
+  if (begin + tape_size >= input.size() ||
+      input[begin].kind != InKind::kSeparator) {
+    throw std::invalid_argument("corrupt: block out of range");
+  }
+  auto flip_content = [](InLabel& cell) {
+    cell.content = cell.content == lba::Symbol::k0 ? lba::Symbol::k1 : lba::Symbol::k0;
+  };
+  switch (corruption) {
+    case Corruption::kWrongInitialTape:
+      // Damage the first block's interior cell (must be block 1 for the
+      // Error0 witness, but any block gives *some* inconsistency).
+      flip_content(input[cells + 1]);
+      break;
+    case Corruption::kTapeTooLong: {
+      // Duplicate one tape cell: shift the rest right by one (dropping the
+      // final Empty).
+      InLabel extra = input[cells];
+      input.insert(input.begin() + static_cast<std::ptrdiff_t>(cells), extra);
+      input.pop_back();
+      break;
+    }
+    case Corruption::kTapeTooShort:
+      input.erase(input.begin() + static_cast<std::ptrdiff_t>(cells + 1));
+      input.push_back(InLabel{InKind::kEmpty, lba::Symbol::k0, 0, false});
+      break;
+    case Corruption::kWrongCopy:
+      // Change a non-head cell so it no longer matches the previous
+      // block's copy (Figure 2's red cell).
+      for (std::size_t j = 0; j < tape_size; ++j) {
+        InLabel& cell = input[cells + j];
+        if (cell.kind == InKind::kTape && !cell.head) {
+          flip_content(cell);
+          return input;
+        }
+      }
+      throw std::invalid_argument("corrupt: no non-head cell to damage");
+    case Corruption::kInconsistentState: {
+      InLabel& cell = input[cells + tape_size - 1];
+      cell.state = static_cast<lba::State>((cell.state + 1) % machine.num_states());
+      break;
+    }
+    case Corruption::kWrongTransition: {
+      // Move the head flag of the NEXT block one cell over, so the
+      // recorded transition is impossible.
+      const std::size_t next = cells + tape_size + 1;
+      if (next + tape_size > input.size() || input[next - 1].kind != InKind::kSeparator) {
+        throw std::invalid_argument("corrupt: no next block for a transition error");
+      }
+      std::size_t head_at = 0;
+      bool found = false;
+      for (std::size_t j = 0; j < tape_size; ++j) {
+        if (input[next + j].kind == InKind::kTape && input[next + j].head) {
+          head_at = j;
+          found = true;
+          break;
+        }
+      }
+      if (!found) throw std::invalid_argument("corrupt: next block has no head");
+      input[next + head_at].head = false;
+      input[next + (head_at + 1) % tape_size].head = true;
+      break;
+    }
+    case Corruption::kTwoHeads:
+      for (std::size_t j = 0; j < tape_size; ++j) {
+        InLabel& cell = input[cells + j];
+        if (cell.kind == InKind::kTape && !cell.head) {
+          cell.head = true;
+          return input;
+        }
+      }
+      throw std::invalid_argument("corrupt: no cell for a second head");
+  }
+  return input;
+}
+
+Word pack(const PiLabels& labels, const std::vector<InLabel>& input) {
+  Word out;
+  out.reserve(input.size());
+  for (const InLabel& l : input) out.push_back(labels.encode(l));
+  return out;
+}
+
+std::vector<OutLabel> unpack_outputs(const PiLabels& labels, const Word& outputs) {
+  std::vector<OutLabel> out;
+  out.reserve(outputs.size());
+  for (Label l : outputs) out.push_back(labels.decode_output(l));
+  return out;
+}
+
+}  // namespace lclpath::hardness

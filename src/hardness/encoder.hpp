@@ -1,0 +1,47 @@
+// Good inputs (Definition 1, Figure 1) and the corrupted variants
+// (Figure 2) for the Pi_MB hardness experiments.
+#pragma once
+
+#include <vector>
+
+#include "hardness/labels.hpp"
+
+namespace lclpath::hardness {
+
+/// Which secret the first node carries.
+enum class Secret : std::uint8_t { kA, kB };
+
+/// Encodes the first `steps + 1` configurations of the machine's run as a
+/// good input of total length n (padding with Empty; throws if the
+/// encoding does not fit). Layout (Definition 1):
+///   p0 = Start(secret); then per configuration i: Separator followed by
+///   the B tape cells Tape(tape[j], state_i, head_i == j).
+std::vector<InLabel> good_input(const lba::Machine& machine, std::size_t tape_size,
+                                Secret secret, std::size_t steps, std::size_t n);
+
+/// Length of the encoding part (without Empty padding): 1 + (steps+1)(B+1).
+std::size_t encoding_length(std::size_t tape_size, std::size_t steps);
+
+/// The seven corruption kinds exercised by Figure 2 and the tests.
+enum class Corruption : std::uint8_t {
+  kWrongInitialTape,    // a 1 in the initial tape (Error0 witness)
+  kTapeTooLong,         // an extra cell in one block (Error1 witness)
+  kTapeTooShort,        // a missing cell in one block (Error1 witness)
+  kWrongCopy,           // tape cell changed between steps (Error2, Figure 2)
+  kInconsistentState,   // state differs inside one block (Error3 witness)
+  kWrongTransition,     // head/state evolve wrongly (Error4 witness)
+  kTwoHeads,            // an extra head inside a block (Error5 witness)
+};
+
+/// Applies the corruption to a good input (in-place semantics: returns the
+/// corrupted copy). `block` selects which configuration block to damage
+/// (1-based; must exist).
+std::vector<InLabel> corrupt(const lba::Machine& machine, std::size_t tape_size,
+                             std::vector<InLabel> input, Corruption corruption,
+                             std::size_t block);
+
+/// Packs structured inputs to dense labels (PiLabels::encode).
+Word pack(const PiLabels& labels, const std::vector<InLabel>& input);
+std::vector<OutLabel> unpack_outputs(const PiLabels& labels, const Word& outputs);
+
+}  // namespace lclpath::hardness

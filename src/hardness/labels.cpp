@@ -1,0 +1,181 @@
+#include "hardness/labels.hpp"
+
+#include <stdexcept>
+
+namespace lclpath::hardness {
+
+namespace {
+constexpr std::size_t kNumTapeSymbols = lba::kNumSymbols;
+}
+
+PiLabels::PiLabels(const lba::Machine& machine, std::size_t tape_size)
+    : machine_(&machine), b_(tape_size), q_(machine.num_states()) {
+  if (tape_size < 2) throw std::invalid_argument("PiLabels: tape size must be >= 2");
+}
+
+// Input layout: [StartA, StartB, Separator, Empty, Tape * (4 * Q * 2)]
+std::size_t PiLabels::num_inputs() const { return 4 + kNumTapeSymbols * q_ * 2; }
+
+Label PiLabels::encode(const InLabel& label) const {
+  switch (label.kind) {
+    case InKind::kStartA: return 0;
+    case InKind::kStartB: return 1;
+    case InKind::kSeparator: return 2;
+    case InKind::kEmpty: return 3;
+    case InKind::kTape:
+      return static_cast<Label>(
+          4 + (static_cast<std::size_t>(label.content) * q_ + label.state) * 2 +
+          (label.head ? 1 : 0));
+  }
+  throw std::logic_error("PiLabels::encode(InLabel): bad kind");
+}
+
+InLabel PiLabels::decode_input(Label label) const {
+  InLabel out;
+  switch (label) {
+    case 0: out.kind = InKind::kStartA; return out;
+    case 1: out.kind = InKind::kStartB; return out;
+    case 2: out.kind = InKind::kSeparator; return out;
+    case 3: out.kind = InKind::kEmpty; return out;
+    default: break;
+  }
+  std::size_t rest = label - 4;
+  if (rest >= kNumTapeSymbols * q_ * 2) {
+    throw std::out_of_range("PiLabels::decode_input: bad label");
+  }
+  out.kind = InKind::kTape;
+  out.head = (rest % 2) == 1;
+  rest /= 2;
+  out.state = static_cast<lba::State>(rest % q_);
+  out.content = static_cast<lba::Symbol>(rest / q_);
+  return out;
+}
+
+// Output layout:
+//   [StartA, StartB, Empty, Error,
+//    Error0 * (B+2), Error1 * (B+1), Error2 * (4 * (B+2)), Error3,
+//    Error4 * (Q * 4 * (B+3)), Error5 * 2]
+std::size_t PiLabels::num_outputs() const {
+  return 4 + (b_ + 2) + (b_ + 1) + kNumTapeSymbols * (b_ + 2) + 1 +
+         q_ * kNumTapeSymbols * (b_ + 3) + 2;
+}
+
+Label PiLabels::encode(const OutLabel& label) const {
+  std::size_t base = 0;
+  switch (label.kind) {
+    case OutKind::kStartA: return 0;
+    case OutKind::kStartB: return 1;
+    case OutKind::kEmpty: return 2;
+    case OutKind::kError: return 3;
+    case OutKind::kError0:
+      base = 4;
+      if (label.index > b_ + 1) throw std::out_of_range("Error0 index");
+      return static_cast<Label>(base + label.index);
+    case OutKind::kError1:
+      base = 4 + (b_ + 2);
+      if (label.index > b_) throw std::out_of_range("Error1 index");
+      return static_cast<Label>(base + label.index);
+    case OutKind::kError2:
+      base = 4 + (b_ + 2) + (b_ + 1);
+      if (label.index > b_ + 1) throw std::out_of_range("Error2 index");
+      return static_cast<Label>(base + static_cast<std::size_t>(label.content) * (b_ + 2) +
+                                label.index);
+    case OutKind::kError3:
+      return static_cast<Label>(4 + (b_ + 2) + (b_ + 1) + kNumTapeSymbols * (b_ + 2));
+    case OutKind::kError4: {
+      base = 4 + (b_ + 2) + (b_ + 1) + kNumTapeSymbols * (b_ + 2) + 1;
+      if (label.index > b_ + 2) throw std::out_of_range("Error4 index");
+      const std::size_t packed =
+          (label.state * kNumTapeSymbols + static_cast<std::size_t>(label.content)) *
+              (b_ + 3) +
+          label.index;
+      return static_cast<Label>(base + packed);
+    }
+    case OutKind::kError5:
+      base = 4 + (b_ + 2) + (b_ + 1) + kNumTapeSymbols * (b_ + 2) + 1 +
+             q_ * kNumTapeSymbols * (b_ + 3);
+      if (label.bit > 1) throw std::out_of_range("Error5 bit");
+      return static_cast<Label>(base + label.bit);
+  }
+  throw std::logic_error("PiLabels::encode(OutLabel): bad kind");
+}
+
+OutLabel PiLabels::decode_output(Label label) const {
+  OutLabel out;
+  std::size_t x = label;
+  if (x == 0) { out.kind = OutKind::kStartA; return out; }
+  if (x == 1) { out.kind = OutKind::kStartB; return out; }
+  if (x == 2) { out.kind = OutKind::kEmpty; return out; }
+  if (x == 3) { out.kind = OutKind::kError; return out; }
+  x -= 4;
+  if (x < b_ + 2) { out.kind = OutKind::kError0; out.index = x; return out; }
+  x -= b_ + 2;
+  if (x < b_ + 1) { out.kind = OutKind::kError1; out.index = x; return out; }
+  x -= b_ + 1;
+  if (x < kNumTapeSymbols * (b_ + 2)) {
+    out.kind = OutKind::kError2;
+    out.content = static_cast<lba::Symbol>(x / (b_ + 2));
+    out.index = x % (b_ + 2);
+    return out;
+  }
+  x -= kNumTapeSymbols * (b_ + 2);
+  if (x == 0) { out.kind = OutKind::kError3; return out; }
+  x -= 1;
+  if (x < q_ * kNumTapeSymbols * (b_ + 3)) {
+    out.kind = OutKind::kError4;
+    out.index = x % (b_ + 3);
+    const std::size_t sc = x / (b_ + 3);
+    out.content = static_cast<lba::Symbol>(sc % kNumTapeSymbols);
+    out.state = static_cast<lba::State>(sc / kNumTapeSymbols);
+    return out;
+  }
+  x -= q_ * kNumTapeSymbols * (b_ + 3);
+  if (x < 2) { out.kind = OutKind::kError5; out.bit = x; return out; }
+  throw std::out_of_range("PiLabels::decode_output: bad label");
+}
+
+std::string PiLabels::name(const InLabel& label) const {
+  switch (label.kind) {
+    case InKind::kStartA: return "Start(a)";
+    case InKind::kStartB: return "Start(b)";
+    case InKind::kSeparator: return "Sep";
+    case InKind::kEmpty: return "Empty";
+    case InKind::kTape:
+      return "Tape(" + lba::to_string(label.content) + "," +
+             machine_->state_name(label.state) + "," + (label.head ? "H" : "-") + ")";
+  }
+  return "?";
+}
+
+std::string PiLabels::name(const OutLabel& label) const {
+  switch (label.kind) {
+    case OutKind::kStartA: return "a";
+    case OutKind::kStartB: return "b";
+    case OutKind::kEmpty: return "empty";
+    case OutKind::kError: return "Err";
+    case OutKind::kError0: return "E0[" + std::to_string(label.index) + "]";
+    case OutKind::kError1: return "E1[" + std::to_string(label.index) + "]";
+    case OutKind::kError2:
+      return "E2(" + lba::to_string(label.content) + ")[" + std::to_string(label.index) + "]";
+    case OutKind::kError3: return "E3";
+    case OutKind::kError4:
+      return "E4(" + machine_->state_name(label.state) + "," +
+             lba::to_string(label.content) + ")[" + std::to_string(label.index) + "]";
+    case OutKind::kError5: return "E5(" + std::to_string(label.bit) + ")";
+  }
+  return "?";
+}
+
+Alphabet PiLabels::input_alphabet() const {
+  Alphabet a;
+  for (Label l = 0; l < num_inputs(); ++l) a.add(name(decode_input(l)));
+  return a;
+}
+
+Alphabet PiLabels::output_alphabet() const {
+  Alphabet a;
+  for (Label l = 0; l < num_outputs(); ++l) a.add(name(decode_output(l)));
+  return a;
+}
+
+}  // namespace lclpath::hardness

@@ -1,0 +1,87 @@
+// Label spaces of the LCL family Pi_MB (paper Sections 3.2.1 / 3.2.3).
+//
+// Inputs:   Start(a), Start(b), Separator, Empty, Tape(c, s, h)
+//           with c in {0,1,L,R}, s in Q, h in {false,true}.
+// Outputs:  Start(a), Start(b), Empty, Error (generic),
+//           Error0(i) 0<=i<=B+1, Error1(i) 0<=i<=B,
+//           Error2(x, i) x in {0,1,L,R}, 0<=i<=B+1, Error3,
+//           Error4(state, content, i) 0<=i<=B+2, Error5(x) x in {0,1}.
+//
+// The input label count is independent of B (the paper stresses this);
+// the outputs grow as O(B * |Q|).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/alphabet.hpp"
+#include "lba/lba.hpp"
+
+namespace lclpath::hardness {
+
+enum class InKind : std::uint8_t { kStartA, kStartB, kSeparator, kEmpty, kTape };
+enum class OutKind : std::uint8_t {
+  kStartA,
+  kStartB,
+  kEmpty,
+  kError,   // generic
+  kError0,
+  kError1,
+  kError2,
+  kError3,
+  kError4,
+  kError5,
+};
+
+struct InLabel {
+  InKind kind = InKind::kEmpty;
+  lba::Symbol content = lba::Symbol::k0;  // Tape only
+  lba::State state = 0;                   // Tape only
+  bool head = false;                      // Tape only
+
+  bool operator==(const InLabel&) const = default;
+};
+
+struct OutLabel {
+  OutKind kind = OutKind::kEmpty;
+  std::size_t index = 0;                  // ErrorK chain position
+  lba::Symbol content = lba::Symbol::k0;  // Error2's x / Error4's tape content
+  lba::State state = 0;                   // Error4's current state
+  std::size_t bit = 0;                    // Error5's x
+
+  bool operator==(const OutLabel&) const = default;
+  bool is_specific_error() const {
+    return kind >= OutKind::kError0 && kind <= OutKind::kError5;
+  }
+};
+
+/// Dense codec between structured labels and alphabet indices.
+class PiLabels {
+ public:
+  PiLabels(const lba::Machine& machine, std::size_t tape_size);
+
+  std::size_t tape_size() const { return b_; }
+  const lba::Machine& machine() const { return *machine_; }
+
+  std::size_t num_inputs() const;
+  std::size_t num_outputs() const;
+
+  Label encode(const InLabel& label) const;
+  Label encode(const OutLabel& label) const;
+  InLabel decode_input(Label label) const;
+  OutLabel decode_output(Label label) const;
+
+  std::string name(const InLabel& label) const;
+  std::string name(const OutLabel& label) const;
+
+  /// Alphabets with human-readable names (index-aligned with encode()).
+  Alphabet input_alphabet() const;
+  Alphabet output_alphabet() const;
+
+ private:
+  const lba::Machine* machine_;
+  std::size_t b_;
+  std::size_t q_;  // number of machine states
+};
+
+}  // namespace lclpath::hardness

@@ -1,0 +1,224 @@
+#include "hardness/pi_problem.hpp"
+
+namespace lclpath::hardness {
+
+namespace {
+using lba::Move;
+using lba::State;
+using lba::Symbol;
+
+bool is_start(const InLabel& in) {
+  return in.kind == InKind::kStartA || in.kind == InKind::kStartB;
+}
+}  // namespace
+
+PiProblem::PiProblem(const lba::Machine& machine, std::size_t tape_size)
+    : labels_(machine, tape_size) {
+  machine.validate();
+}
+
+std::size_t PiProblem::error4_final_index(State state, Symbol content) const {
+  const std::size_t b = labels_.tape_size();
+  if (state == machine().final_state()) return b + 1;  // treated like a Stay
+  switch (machine().transition(state, content).move) {
+    case Move::kLeft: return b;
+    case Move::kStay: return b + 1;
+    case Move::kRight: return b + 2;
+  }
+  return b + 1;
+}
+
+bool PiProblem::error4_final(const OutLabel& out) const {
+  if (out.kind != OutKind::kError4) return false;
+  return out.index == error4_final_index(out.state, out.content);
+}
+
+bool PiProblem::node_ok(std::size_t /*i*/, const InLabel& in, const OutLabel& out,
+                        const InLabel* in_pred, const OutLabel* out_pred) const {
+  const std::size_t b = labels_.tape_size();
+  const bool has_pred = in_pred != nullptr && out_pred != nullptr;
+  const State q0 = machine().initial();
+
+  // Constraint 12: adjacent specific errors must share the type.
+  if (out.is_specific_error() && has_pred && out_pred->is_specific_error() &&
+      out_pred->kind != out.kind) {
+    return false;
+  }
+
+  switch (out.kind) {
+    case OutKind::kEmpty:
+      // Constraint 2 — plus: an error chain cannot be dropped without its
+      // terminating witness (paper erratum; Section 3.4's acceptance
+      // argument assumes chains end at an Error node).
+      if (has_pred && out_pred->is_specific_error()) return false;
+      return in.kind == InKind::kEmpty;
+
+    case OutKind::kStartA:
+    case OutKind::kStartB: {
+      // Constraint 3 (first node): the secret must match the input.
+      if (!has_pred) {
+        if (out.kind == OutKind::kStartA && in.kind != InKind::kStartA) return false;
+        if (out.kind == OutKind::kStartB && in.kind != InKind::kStartB) return false;
+        return true;
+      }
+      // Constraint 4: the two secrets never touch. Additionally (same
+      // erratum as for Empty): no secret directly after a specific error
+      // chain, which would abandon the chain without a witness.
+      if (out.kind == OutKind::kStartA && out_pred->kind == OutKind::kStartB) return false;
+      if (out.kind == OutKind::kStartB && out_pred->kind == OutKind::kStartA) return false;
+      if (out_pred->is_specific_error()) return false;
+      return true;
+    }
+
+    case OutKind::kError0: {
+      // Constraint 5.
+      if (out.index == 0) return !has_pred;
+      return has_pred && out_pred->kind == OutKind::kError0 &&
+             out_pred->index == out.index - 1;
+    }
+
+    case OutKind::kError1: {
+      // Constraint 6.
+      if (out.index == 0) return in.kind == InKind::kSeparator;
+      return in.kind != InKind::kSeparator && has_pred &&
+             out_pred->kind == OutKind::kError1 && out_pred->index == out.index - 1;
+    }
+
+    case OutKind::kError2: {
+      // Constraint 7 (with the chain required at j = B+1; see header).
+      // Extension for wrong *writes*: the chain may also start at the head
+      // cell, carrying the content delta(s, c) writes — so a mismatch at
+      // distance B+1 witnesses a mis-copied written cell. On good inputs
+      // the written value matches, so no false proof exists.
+      if (out.index == 0) {
+        if (in.kind != InKind::kTape) return false;
+        if (!in.head) return in.content == out.content;
+        if (in.state == machine().final_state()) return false;
+        return machine().transition(in.state, in.content).write == out.content;
+      }
+      const bool chained = has_pred && out_pred->kind == OutKind::kError2 &&
+                           out_pred->content == out.content &&
+                           out_pred->index == out.index - 1;
+      if (out.index == b + 1) {
+        return chained && in.kind == InKind::kTape && in.content != out.content;
+      }
+      return chained;
+    }
+
+    case OutKind::kError3: {
+      // Constraint 8.
+      return in.kind == InKind::kTape && has_pred && in_pred->kind == InKind::kTape &&
+             in_pred->state != in.state;
+    }
+
+    case OutKind::kError4: {
+      // Constraint 9.
+      if (out.index == 0) {
+        return in.kind == InKind::kTape && in.content == out.content &&
+               in.state == out.state && in.head;
+      }
+      const std::size_t final_index = error4_final_index(out.state, out.content);
+      if (out.index > final_index) return false;
+      const bool chained = has_pred && out_pred->kind == OutKind::kError4 &&
+                           out_pred->state == out.state &&
+                           out_pred->content == out.content &&
+                           out_pred->index == out.index - 1;
+      if (!chained) return false;
+      if (out.index == final_index) {
+        // A transition *from* the final state is an error only if the
+        // encoding actually continues (a Tape cell where nothing should
+        // follow); otherwise every good input's last block would admit a
+        // free Error4 chain (paper erratum).
+        if (out.state == machine().final_state()) return in.kind == InKind::kTape;
+        const State transition_state =
+            machine().transition(out.state, out.content).next_state;
+        return in.kind == InKind::kTape &&
+               (in.state != transition_state || !in.head);
+      }
+      return true;
+    }
+
+    case OutKind::kError5: {
+      // Constraint 10 (chain starts only at a head with bit 0).
+      const bool pred_is_e5 = has_pred && out_pred->kind == OutKind::kError5;
+      if (!pred_is_e5) {
+        return in.kind == InKind::kTape && in.head && out.bit == 0;
+      }
+      return out.bit == 1 && in.kind == InKind::kTape;
+    }
+
+    case OutKind::kError: {
+      // Constraint 11: one witness must hold. When the predecessor is a
+      // specific error, *only* the matching chain-end witness applies —
+      // otherwise a chain could dangle and borrow an unrelated generic
+      // justification (paper erratum; Section 3.4 assumes chains are
+      // accepted only at their witness).
+      if (!has_pred) return !is_start(in);
+      if (out_pred->is_specific_error()) {
+        switch (out_pred->kind) {
+          case OutKind::kError0: {
+            const std::size_t j = out_pred->index;
+            if (j == 0) return false;
+            if (j == 1) return in_pred->kind != InKind::kSeparator;
+            if (in_pred->kind != InKind::kTape) return true;
+            if (j == 2) {
+              return in_pred->content != Symbol::kL || in_pred->state != q0 ||
+                     !in_pred->head;
+            }
+            if (j <= b) {
+              return in_pred->content != Symbol::k0 || in_pred->state != q0 ||
+                     in_pred->head;
+            }
+            if (j == b + 1) {
+              return in_pred->content != Symbol::kR || in_pred->state != q0 ||
+                     in_pred->head;
+            }
+            return false;
+          }
+          case OutKind::kError1:
+            if (in.kind == InKind::kSeparator && out_pred->index != b) return true;
+            // A tape cell where a separator was expected (tape too long);
+            // requiring Tape (not merely "not Separator") keeps the witness
+            // dead on good inputs, whose encodings end in Empty.
+            if (in.kind == InKind::kTape && out_pred->index == b) return true;
+            return false;
+          case OutKind::kError2: return out_pred->index == b + 1;
+          case OutKind::kError3: return true;
+          case OutKind::kError4: return error4_final(*out_pred);
+          case OutKind::kError5:
+            return out_pred->bit == 1 && in_pred->kind == InKind::kTape &&
+                   in_pred->head;
+          default: return false;
+        }
+      }
+      if (is_start(in)) return true;
+      if (in_pred->kind == InKind::kEmpty || out_pred->kind == OutKind::kEmpty) return true;
+      if (out_pred->kind == OutKind::kError) return true;
+      return false;
+    }
+  }
+  return false;
+}
+
+VerifyResult PiProblem::verify(const std::vector<InLabel>& inputs,
+                               const std::vector<OutLabel>& outputs) const {
+  if (inputs.size() != outputs.size() || inputs.empty()) {
+    return VerifyResult::failure(0, "size mismatch or empty");
+  }
+  if (!allowed_at_last(outputs.back())) {
+    return VerifyResult::failure(inputs.size() - 1,
+                                 "specific error dangling at the path end");
+  }
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const InLabel* in_pred = i > 0 ? &inputs[i - 1] : nullptr;
+    const OutLabel* out_pred = i > 0 ? &outputs[i - 1] : nullptr;
+    if (!node_ok(i, inputs[i], outputs[i], in_pred, out_pred)) {
+      return VerifyResult::failure(
+          i, "Pi constraint violated at node " + std::to_string(i) + " (in=" +
+                 labels_.name(inputs[i]) + ", out=" + labels_.name(outputs[i]) + ")");
+    }
+  }
+  return VerifyResult::success();
+}
+
+}  // namespace lclpath::hardness

@@ -1,0 +1,57 @@
+// The LCL family Pi_MB (paper Section 3.2) and its verifier
+// (constraints 1-12 of Section 3.2.4).
+//
+// Pi_MB is checked by a V_in,in-out,out verifier (each node inspects its
+// own input/output and its predecessor's), so this module keeps a
+// dedicated structured verifier; Lemma 2's product construction
+// (lcl/normalize.hpp) converts it to the pairwise form when needed.
+//
+// Two errata of the paper are fixed here and documented in DESIGN.md:
+//   * constraint 7's j = B+1 case must also continue the chain
+//     (Output(p_{i-1}) = Error2(x, B)), otherwise a lone Error2(x, B+1)
+//     falsely "proves" an error on good inputs;
+//   * the upper-bound algorithm's cases 4 and 7 emit Error1(i - k) and
+//     Error4(s, c, i - k) (the paper's k - i is a sign slip).
+#pragma once
+
+#include <optional>
+
+#include "hardness/labels.hpp"
+#include "lcl/verifier.hpp"
+
+namespace lclpath::hardness {
+
+class PiProblem {
+ public:
+  PiProblem(const lba::Machine& machine, std::size_t tape_size);
+
+  const PiLabels& labels() const { return labels_; }
+  const lba::Machine& machine() const { return labels_.machine(); }
+  std::size_t tape_size() const { return labels_.tape_size(); }
+
+  /// True iff node i's constraints (1-12) hold given its own labels and
+  /// (for i > 0) the predecessor's.
+  bool node_ok(std::size_t i, const InLabel& in, const OutLabel& out,
+               const InLabel* in_pred, const OutLabel* out_pred) const;
+
+  /// Whole-path verification on structured labels.
+  VerifyResult verify(const std::vector<InLabel>& inputs,
+                      const std::vector<OutLabel>& outputs) const;
+
+  /// The "Error4 final node" predicate (constraint 9 / 11).
+  bool error4_final(const OutLabel& out) const;
+
+  /// Last-node rule: a specific error chain may not end dangling at the
+  /// path's last node (its witness lives at the successor). Mirrors
+  /// Lemma 3's "Er must have a successor" device.
+  bool allowed_at_last(const OutLabel& out) const { return !out.is_specific_error(); }
+
+  /// Expected chain length of an Error4 witness starting at the head
+  /// (depends on the transition's move; B+1 for final states).
+  std::size_t error4_final_index(lba::State state, lba::Symbol content) const;
+
+ private:
+  PiLabels labels_;
+};
+
+}  // namespace lclpath::hardness

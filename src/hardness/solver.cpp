@@ -1,0 +1,254 @@
+#include "hardness/solver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lclpath::hardness {
+
+namespace {
+using lba::Move;
+using lba::Symbol;
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+}  // namespace
+
+PiSolver::PiSolver(const PiProblem& problem, std::size_t steps)
+    : problem_(&problem),
+      steps_(steps),
+      radius_(2 + (problem.tape_size() + 1) * (steps + 1)) {
+  // Precompute the unique good encoding (Definition 1); the secret at p0
+  // is matched dynamically.
+  const std::size_t n = encoding_length(problem.tape_size(), steps) + 1;
+  expected_ = good_input(problem.machine(), problem.tape_size(), Secret::kA, steps, n);
+}
+
+std::size_t PiSolver::first_defect(const std::vector<InLabel>& inputs,
+                                   std::size_t limit) const {
+  for (std::size_t p = 0; p < limit; ++p) {
+    const InLabel actual = inputs[p];
+    if (p == 0) {
+      if (actual.kind != InKind::kStartA && actual.kind != InKind::kStartB) return 0;
+      continue;
+    }
+    const InLabel expected = p < expected_.size()
+                                 ? expected_[p]
+                                 : InLabel{InKind::kEmpty, Symbol::k0, 0, false};
+    if (!(actual == expected)) return p;
+  }
+  return kNone;
+}
+
+std::vector<OutLabel> PiSolver::solve(const std::vector<InLabel>& inputs) const {
+  std::vector<OutLabel> out;
+  out.reserve(inputs.size());
+  for (std::size_t v = 0; v < inputs.size(); ++v) out.push_back(output_of(inputs, v));
+  return out;
+}
+
+std::vector<OutLabel> PiSolver::solve_looping(const std::vector<InLabel>& inputs) {
+  std::vector<OutLabel> out(inputs.size());
+  const bool has_secret =
+      inputs[0].kind == InKind::kStartA || inputs[0].kind == InKind::kStartB;
+  for (std::size_t v = 0; v < inputs.size(); ++v) {
+    if (!has_secret) {
+      out[v].kind = OutKind::kError;
+    } else if (inputs[v].kind == InKind::kEmpty) {
+      out[v].kind = OutKind::kEmpty;
+    } else {
+      out[v].kind = inputs[0].kind == InKind::kStartA ? OutKind::kStartA : OutKind::kStartB;
+    }
+  }
+  return out;
+}
+
+OutLabel PiSolver::output_of(const std::vector<InLabel>& inputs, std::size_t v) const {
+  const std::size_t b = problem_->tape_size();
+  const std::size_t n = inputs.size();
+  const lba::Machine& machine = problem_->machine();
+  OutLabel out;
+
+  // Ball does not reach p0, or p0 carries no secret: Empty-input nodes
+  // stay Empty, the rest emit the generic Error.
+  if (v > radius_ ||
+      (inputs[0].kind != InKind::kStartA && inputs[0].kind != InKind::kStartB)) {
+    out.kind = inputs[v].kind == InKind::kEmpty ? OutKind::kEmpty : OutKind::kError;
+    return out;
+  }
+  const OutKind secret =
+      inputs[0].kind == InKind::kStartA ? OutKind::kStartA : OutKind::kStartB;
+
+  // Visible prefix: the ball of v covers [0, v + T'].
+  const std::size_t limit = std::min(n, v + radius_ + 1);
+  const std::size_t j = first_defect(inputs, limit);
+  if (j == kNone) {
+    out.kind = inputs[v].kind == InKind::kEmpty ? OutKind::kEmpty : secret;
+    return out;
+  }
+
+  auto secret_out = [&] {
+    OutLabel s;
+    s.kind = inputs[v].kind == InKind::kEmpty ? OutKind::kEmpty : secret;
+    return s;
+  };
+  auto error_out = [] {
+    OutLabel e;
+    e.kind = OutKind::kError;
+    return e;
+  };
+  const std::size_t i = v;
+
+  // Case 1: a second Start marker.
+  if (j != 0 && (inputs[j].kind == InKind::kStartA || inputs[j].kind == InKind::kStartB)) {
+    if (i < j) return secret_out();
+    return error_out();
+  }
+  // Case 2: broken initialization (defect within the first block).
+  if (j <= b + 1) {
+    if (i <= j) {
+      out.kind = OutKind::kError0;
+      out.index = i;
+      return out;
+    }
+    return error_out();
+  }
+  // Case 3: tape too long — a separator was expected at j.
+  if (inputs[j - (b + 1)].kind == InKind::kSeparator &&
+      inputs[j].kind != InKind::kSeparator && expected_[j].kind == InKind::kSeparator) {
+    if (i < j - (b + 1)) return secret_out();
+    if (i > j) return error_out();
+    out.kind = OutKind::kError1;
+    out.index = i - (j - (b + 1));
+    return out;
+  }
+  // Case 4: tape too short — an early separator at j.
+  if (inputs[j].kind == InKind::kSeparator) {
+    std::size_t k = kNone;
+    for (std::size_t d = 1; d < b + 1 && d <= j; ++d) {
+      if (inputs[j - d].kind == InKind::kSeparator) {
+        k = j - d;
+        break;
+      }
+    }
+    if (k != kNone) {
+      if (i < k) return secret_out();
+      if (i >= j) return error_out();
+      out.kind = OutKind::kError1;
+      out.index = i - k;  // paper's k - i; sign erratum
+      return out;
+    }
+  }
+  // Case 5: tape copied wrongly between consecutive blocks (including the
+  // written head cell, via the rule-7 extension).
+  if (j >= b + 1 && inputs[j - (b + 1)].kind == InKind::kTape &&
+      inputs[j].kind == InKind::kTape) {
+    const InLabel& src = inputs[j - (b + 1)];
+    Symbol expected_copy = src.content;
+    bool applicable = !src.head;
+    if (src.head && src.state != machine.final_state()) {
+      expected_copy = machine.transition(src.state, src.content).write;
+      applicable = true;
+    }
+    if (applicable && inputs[j].content != expected_copy) {
+      if (i < j - (b + 1)) return secret_out();
+      if (i > j) return error_out();
+      out.kind = OutKind::kError2;
+      out.content = expected_copy;
+      out.index = i - (j - (b + 1));
+      return out;
+    }
+  }
+  // Case 6: inconsistent states inside the block that starts at j.
+  if (inputs[j].kind == InKind::kTape && j > 0 &&
+      inputs[j - 1].kind == InKind::kSeparator) {
+    for (std::size_t k = j + 1; k < std::min(n, j + b); ++k) {
+      if (inputs[k].kind != InKind::kTape) break;
+      if (inputs[k].state != inputs[k - 1].state) {
+        if (i < k) return secret_out();
+        if (i > k) return error_out();
+        out.kind = OutKind::kError3;
+        return out;
+      }
+    }
+  }
+  // Case 6': inconsistent states with the defect at j itself (the state
+  // changed mid-block at j).
+  if (inputs[j].kind == InKind::kTape && j > 0 && inputs[j - 1].kind == InKind::kTape &&
+      inputs[j - 1].state != inputs[j].state) {
+    if (i < j) return secret_out();
+    if (i > j) return error_out();
+    out.kind = OutKind::kError3;
+    return out;
+  }
+  // Case 7: broken transition — chain from the previous block's head.
+  {
+    std::size_t k = kNone;
+    for (std::size_t d = 1; d <= b + 2 && d <= j; ++d) {
+      const InLabel& cand = inputs[j - d];
+      if (cand.kind == InKind::kTape && cand.head) {
+        k = j - d;
+        break;
+      }
+    }
+    if (k != kNone) {
+      const InLabel& head = inputs[k];
+      const std::size_t fi = problem_->error4_final_index(head.state, head.content);
+      const std::size_t end = k + fi;
+      bool end_valid = false;
+      if (end < n) {
+        if (head.state == machine.final_state()) {
+          end_valid = true;
+        } else {
+          const lba::State ts = machine.transition(head.state, head.content).next_state;
+          const InLabel& fin = inputs[end];
+          end_valid = fin.kind == InKind::kTape && (fin.state != ts || !fin.head);
+        }
+      }
+      if (end_valid) {
+        if (i < k) return secret_out();
+        if (i > end) return error_out();
+        out.kind = OutKind::kError4;
+        out.state = head.state;
+        out.content = head.content;
+        out.index = i - k;  // paper's k - i; sign erratum
+        return out;
+      }
+    }
+  }
+  // Case 8: two heads within one block (the second head may sit on either
+  // side of the first defect).
+  if (inputs[j].kind == InKind::kTape && inputs[j].head) {
+    std::size_t other = kNone;
+    for (std::size_t d = 1; d < b && d <= j; ++d) {
+      const InLabel& cand = inputs[j - d];
+      if (cand.kind != InKind::kTape) break;
+      if (cand.head) {
+        other = j - d;
+        break;
+      }
+    }
+    if (other == kNone) {
+      for (std::size_t d = 1; d < b && j + d < n; ++d) {
+        const InLabel& cand = inputs[j + d];
+        if (cand.kind != InKind::kTape) break;
+        if (cand.head) {
+          other = j + d;
+          break;
+        }
+      }
+    }
+    if (other != kNone) {
+      const std::size_t lo = std::min(other, j);
+      const std::size_t hi = std::max(other, j);
+      if (i < lo) return secret_out();
+      if (i > hi) return error_out();
+      out.kind = OutKind::kError5;
+      out.bit = i == lo ? 0 : 1;
+      return out;
+    }
+  }
+  throw std::logic_error(
+      "PiSolver: defect at position " + std::to_string(j) +
+      " matches no error case (unsupported corruption pattern)");
+}
+
+}  // namespace lclpath::hardness

@@ -1,0 +1,49 @@
+// The Section 3.3 upper-bound algorithm for Pi_MB.
+//
+// If the machine halts in T steps, Pi_MB is solvable in T' = 2 + (B+1)T
+// rounds: every node gathers its radius-T' ball; nodes that do not see p0
+// output the generic Error; nodes that see a good prefix output the
+// secret Start(phi); otherwise the nodes around the *first* defect emit
+// the matching locally-checkable error chain (cases 1-8 of the paper,
+// with the sign errata fixed). If the machine loops, the problem is
+// Theta(n): solve_looping() is the gather-everything fallback.
+#pragma once
+
+#include "hardness/encoder.hpp"
+#include "hardness/pi_problem.hpp"
+
+namespace lclpath::hardness {
+
+class PiSolver {
+ public:
+  /// `steps` = the machine's halting time T (from lba::run).
+  PiSolver(const PiProblem& problem, std::size_t steps);
+
+  /// T' = 2 + (B+1) * T.
+  std::size_t radius() const { return radius_; }
+
+  /// Output of node v computed from its radius-T' ball only (positions
+  /// [v - T', v + T'] clipped to the path); the full-input signature is
+  /// (inputs, v) but the function provably reads just the ball — the
+  /// locality test in tests/hardness_test.cpp checks exactly that.
+  OutLabel output_of(const std::vector<InLabel>& inputs, std::size_t v) const;
+
+  /// Whole-path solution.
+  std::vector<OutLabel> solve(const std::vector<InLabel>& inputs) const;
+
+  /// The Theta(n) fallback for looping machines (also valid for halting
+  /// ones): all-secret if p0 carries one, all-Error otherwise.
+  static std::vector<OutLabel> solve_looping(const std::vector<InLabel>& inputs);
+
+ private:
+  const PiProblem* problem_;
+  std::size_t steps_;
+  std::size_t radius_;
+  std::vector<InLabel> expected_;  ///< the good encoding (secret-agnostic at p0)
+
+  /// First position in [0, limit) where inputs deviate from the good
+  /// encoding (treating either Start at p0 as good); npos if none.
+  std::size_t first_defect(const std::vector<InLabel>& inputs, std::size_t limit) const;
+};
+
+}  // namespace lclpath::hardness

@@ -1,0 +1,234 @@
+#include "hardness/tree_encoding.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lclpath::hardness {
+
+std::size_t Graph::add_node() {
+  adj.emplace_back();
+  return adj.size() - 1;
+}
+
+void Graph::add_edge(std::size_t u, std::size_t v) {
+  adj[u].push_back(v);
+  adj[v].push_back(u);
+}
+
+namespace {
+
+/// Recursive helper: builds the full binary tree with subdivided left
+/// edges over bits[lo, hi); returns the subtree root.
+std::size_t build_subtree(Graph& g, const std::vector<int>& bits, std::size_t lo,
+                          std::size_t hi) {
+  const std::size_t node = g.add_node();
+  if (hi - lo == 1) {
+    // Leaf: two children x, y; bit 1 extends both by one node.
+    const std::size_t x = g.add_node();
+    const std::size_t y = g.add_node();
+    g.add_edge(node, x);
+    g.add_edge(node, y);
+    if (bits[lo] == 1) {
+      const std::size_t xx = g.add_node();
+      const std::size_t yy = g.add_node();
+      g.add_edge(x, xx);
+      g.add_edge(y, yy);
+    }
+    return node;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  // Left child behind a subdivision node; right child direct.
+  const std::size_t w = g.add_node();
+  const std::size_t left = build_subtree(g, bits, lo, mid);
+  g.add_edge(node, w);
+  g.add_edge(w, left);
+  const std::size_t right = build_subtree(g, bits, mid, hi);
+  g.add_edge(node, right);
+  return node;
+}
+
+bool is_power_of_two(std::size_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// In-order decode walk. `parent` disambiguates direction.
+bool decode_walk(const Graph& g, std::size_t node, std::size_t parent,
+                 std::vector<int>& bits) {
+  std::vector<std::size_t> children;
+  for (std::size_t u : g.adj[node]) {
+    if (u != parent) children.push_back(u);
+  }
+  if (children.size() != 2) return false;
+  // Leaf test: both children have degree 1 (bit 0) or degree 2 with a
+  // pendant below (bit 1).
+  const std::size_t d0 = g.degree(children[0]);
+  const std::size_t d1 = g.degree(children[1]);
+  if (d0 == 1 && d1 == 1) {
+    bits.push_back(0);
+    return true;
+  }
+  if (d0 == 2 && d1 == 2) {
+    // Distinguish leaf-with-extensions from an internal node: a leaf's
+    // children have only pendant subtrees (grandchildren of degree 1).
+    auto pendant = [&](std::size_t child) {
+      for (std::size_t u : g.adj[child]) {
+        if (u != node && g.degree(u) != 1) return false;
+      }
+      return true;
+    };
+    if (pendant(children[0]) && pendant(children[1])) {
+      bits.push_back(1);
+      return true;
+    }
+  }
+  // Internal node: the left child hides behind a degree-2 subdivision
+  // node; the right child is direct (degree 3).
+  std::size_t left_mid = 0, right = 0;
+  if (d0 == 2 && d1 == 3) {
+    left_mid = children[0];
+    right = children[1];
+  } else if (d1 == 2 && d0 == 3) {
+    left_mid = children[1];
+    right = children[0];
+  } else {
+    return false;
+  }
+  std::size_t left = 0;
+  bool found = false;
+  for (std::size_t u : g.adj[left_mid]) {
+    if (u != node) {
+      left = u;
+      found = true;
+    }
+  }
+  if (!found) return false;
+  return decode_walk(g, left, left_mid, bits) && decode_walk(g, right, node, bits);
+}
+
+}  // namespace
+
+EncodedTree encode_bits(const std::vector<int>& bits) {
+  if (!is_power_of_two(bits.size())) {
+    throw std::invalid_argument("encode_bits: bit count must be a power of two");
+  }
+  EncodedTree out;
+  out.root = build_subtree(out.tree, bits, 0, bits.size());
+  return out;
+}
+
+std::optional<std::vector<int>> decode_bits(const Graph& tree, std::size_t root) {
+  std::vector<int> bits;
+  // The root has no parent: treat the attachment edge (if present in a
+  // larger graph) as the parent by convention of the caller; here we use
+  // an invalid parent index.
+  if (!decode_walk(tree, root, static_cast<std::size_t>(-1), bits)) return std::nullopt;
+  if (!is_power_of_two(bits.size())) return std::nullopt;
+  return bits;
+}
+
+std::size_t bits_per_label(std::size_t num_labels) {
+  std::size_t bits = 1;
+  while ((std::size_t{1} << bits) < num_labels) ++bits;
+  // Round up to a power of two (the paper's 2^k shape).
+  std::size_t rounded = 1;
+  while (rounded < bits) rounded *= 2;
+  return rounded;
+}
+
+GStar build_gstar(const Word& input_labels, std::size_t num_labels) {
+  const std::size_t nbits = bits_per_label(num_labels);
+  GStar out;
+  for (std::size_t v = 0; v < input_labels.size(); ++v) {
+    out.path_nodes.push_back(out.graph.add_node());
+    if (v > 0) out.graph.add_edge(out.path_nodes[v - 1], out.path_nodes[v]);
+  }
+  for (std::size_t v = 0; v < input_labels.size(); ++v) {
+    std::vector<int> bits(nbits, 0);
+    for (std::size_t k = 0; k < nbits; ++k) {
+      bits[k] = static_cast<int>((input_labels[v] >> (nbits - 1 - k)) & 1u);
+    }
+    // Splice the encoded tree into the shared graph.
+    EncodedTree enc = encode_bits(bits);
+    const std::size_t offset = out.graph.size();
+    for (std::size_t u = 0; u < enc.tree.size(); ++u) out.graph.add_node();
+    for (std::size_t u = 0; u < enc.tree.size(); ++u) {
+      for (std::size_t w : enc.tree.adj[u]) {
+        if (w > u) out.graph.add_edge(offset + u, offset + w);
+      }
+    }
+    out.graph.add_edge(out.path_nodes[v], offset + enc.root);
+  }
+  return out;
+}
+
+std::optional<Word> recover_labels(const GStar& gstar, std::size_t num_labels) {
+  const Graph& g = gstar.graph;
+  const std::size_t nbits = bits_per_label(num_labels);
+  std::size_t k = 0;
+  while ((std::size_t{1} << k) < nbits) ++k;  // nbits = 2^k
+
+  // Peeling decomposition: A_i = degree-1 nodes of G_i; B_i = degree-2
+  // nodes of G_i adjacent to A_i; k+2 rounds (paper Section 3.8).
+  std::vector<char> removed(g.size(), 0);
+  auto degree_now = [&](std::size_t v) {
+    std::size_t d = 0;
+    for (std::size_t u : g.adj[v]) {
+      if (!removed[u]) ++d;
+    }
+    return d;
+  };
+  std::vector<char> in_label(g.size(), 0);
+  for (std::size_t round = 0; round < k + 2; ++round) {
+    std::vector<std::size_t> a_nodes;
+    for (std::size_t v = 0; v < g.size(); ++v) {
+      if (!removed[v] && degree_now(v) <= 1) a_nodes.push_back(v);
+    }
+    std::vector<std::size_t> b_nodes;
+    if (round < k + 1) {
+      std::vector<char> is_a(g.size(), 0);
+      for (std::size_t v : a_nodes) is_a[v] = 1;
+      for (std::size_t v = 0; v < g.size(); ++v) {
+        if (removed[v] || degree_now(v) != 2) continue;
+        for (std::size_t u : g.adj[v]) {
+          if (!removed[u] && is_a[u]) {
+            b_nodes.push_back(v);
+            break;
+          }
+        }
+      }
+    }
+    for (std::size_t v : a_nodes) {
+      removed[v] = 1;
+      in_label[v] = 1;
+    }
+    for (std::size_t v : b_nodes) {
+      removed[v] = 1;
+      in_label[v] = 1;
+    }
+  }
+
+  // Each main node's unique V_label neighbor roots its encoding tree.
+  Word labels;
+  labels.reserve(gstar.path_nodes.size());
+  for (std::size_t v : gstar.path_nodes) {
+    std::size_t root = 0;
+    std::size_t count = 0;
+    for (std::size_t u : g.adj[v]) {
+      if (in_label[u]) {
+        root = u;
+        ++count;
+      }
+    }
+    if (count != 1) return std::nullopt;
+    std::vector<int> bits;
+    if (!decode_walk(g, root, v, bits) ||
+        bits.size() != nbits) {
+      return std::nullopt;
+    }
+    Label label = 0;
+    for (int bit : bits) label = static_cast<Label>((label << 1) | static_cast<Label>(bit));
+    if (label >= num_labels) return std::nullopt;
+    labels.push_back(label);
+  }
+  return labels;
+}
+
+}  // namespace lclpath::hardness

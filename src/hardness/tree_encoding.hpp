@@ -1,0 +1,62 @@
+// Section 3.8: encoding input labels as attached trees (Theorems 6-7).
+//
+// Enc(S) turns a 2^k-bit string into a rooted tree of maximum degree 3:
+// a full binary tree of depth k whose left-child edges are subdivided
+// (so left children are recognizable by degree), with the i-th leaf (in
+// in-order) growing two children, each extended by one extra node iff
+// bit s_i = 1. Dec() recovers the string. G* attaches Enc(L(v)) to every
+// path node v; the peeling decomposition (A_i / B_i of the paper)
+// identifies V_label and lets each main node recover its input without
+// any input labels — this is how the PSPACE-hardness transfers to
+// unlabeled trees of maximum degree 3 (Theorem 7).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/alphabet.hpp"
+
+namespace lclpath::hardness {
+
+/// Undirected graph with adjacency lists (small; tree encodings only).
+struct Graph {
+  std::vector<std::vector<std::size_t>> adj;
+
+  std::size_t size() const { return adj.size(); }
+  std::size_t add_node();
+  void add_edge(std::size_t u, std::size_t v);
+  std::size_t degree(std::size_t v) const { return adj[v].size(); }
+};
+
+/// Enc(S): bits.size() must be a power of two (2^k). Returns the tree and
+/// its root index.
+struct EncodedTree {
+  Graph tree;
+  std::size_t root = 0;
+};
+EncodedTree encode_bits(const std::vector<int>& bits);
+
+/// Dec(T): recovers the bit string from a tree rooted at `root`
+/// (std::nullopt if the tree is not a valid encoding).
+std::optional<std::vector<int>> decode_bits(const Graph& tree, std::size_t root);
+
+/// G*: a path with one encoded tree per node. `bits_per_label` must be a
+/// power of two with 2^bits_per_label >= alphabet size... precisely,
+/// labels are encoded as distinct bit strings of that length.
+struct GStar {
+  Graph graph;
+  std::vector<std::size_t> path_nodes;  ///< the original path, in order
+};
+GStar build_gstar(const Word& input_labels, std::size_t num_labels);
+
+/// Recovers the input labels from a G* built by build_gstar, using only
+/// the graph structure (the peeling decomposition + Dec). Returns
+/// std::nullopt if the structure is not a valid G*.
+std::optional<Word> recover_labels(const GStar& gstar, std::size_t num_labels);
+
+/// Number of bits used per label for the given alphabet size (the paper's
+/// 2^k with k = ceil(log log |Sigma_in|)).
+std::size_t bits_per_label(std::size_t num_labels);
+
+}  // namespace lclpath::hardness

@@ -1,0 +1,177 @@
+#include "hardness/undirected.hpp"
+
+#include <stdexcept>
+
+namespace lclpath::hardness {
+
+namespace {
+
+void require_uniform_ends(const PairwiseProblem& p, const char* who) {
+  if (p.has_first_constraint()) {
+    throw std::invalid_argument(std::string(who) +
+                                ": source problems with a distinct first-node "
+                                "constraint are not supported");
+  }
+}
+
+}  // namespace
+
+PairwiseProblem lift_to_undirected(const PairwiseProblem& directed) {
+  require_uniform_ends(directed, "lift_to_undirected");
+  if (directed.last_mask().dim() != 0) {
+    throw std::invalid_argument("lift_to_undirected: last-node masks unsupported");
+  }
+  const std::size_t alpha = directed.num_inputs();
+  const std::size_t beta = directed.num_outputs();
+
+  // Escape tags for nodes adjacent to orientation defects (Section 3.7's
+  // E output, split so each variant is *pinned* to the defect geometry it
+  // claims — a pairwise verifier cannot see triples, so the claim must be
+  // checkable edge by edge):
+  //   kColl: both incident edges point at me (two predecessors);
+  //   kDiv:  both incident edges point away (two successors);
+  //   kSolo: both incident edges have equal counters;
+  //   kLast: my successor-side edge is broken (I end a stretch);
+  //   kFirst: my predecessor-side edge is broken (I start a stretch).
+  enum EscapeTag : std::size_t { kColl = 0, kDiv, kSolo, kLast, kFirst, kNumEscapes };
+  const std::size_t tags = beta + kNumEscapes;
+  const char* escape_names[kNumEscapes] = {"Ecoll", "Ediv", "Esolo", "Elast", "Efirst"};
+
+  Alphabet in_alpha;
+  for (Label i = 0; i < alpha; ++i) {
+    for (int o = 0; o < 3; ++o) {
+      in_alpha.add(directed.inputs().name(i) + "@" + std::to_string(o));
+    }
+  }
+  Alphabet out_alpha;
+  for (std::size_t t = 0; t < tags; ++t) {
+    const std::string base = t < beta ? directed.outputs().name(static_cast<Label>(t))
+                                      : escape_names[t - beta];
+    for (int o = 0; o < 3; ++o) out_alpha.add(base + "@" + std::to_string(o));
+  }
+  const Topology topology = is_cycle(directed.topology()) ? Topology::kUndirectedCycle
+                                                          : Topology::kUndirectedPath;
+  PairwiseProblem lifted(directed.name() + " (undirected)", in_alpha, out_alpha, topology);
+  auto pack_in = [](Label i, int o) { return static_cast<Label>(i * 3 + o); };
+  auto pack_out = [](std::size_t t, int o) { return static_cast<Label>(t * 3 + o); };
+
+  // Node checks: normal tags replay the original (counter copied); escape
+  // tags only copy the counter.
+  for (Label i = 0; i < alpha; ++i) {
+    for (int o = 0; o < 3; ++o) {
+      for (std::size_t t = 0; t < tags; ++t) {
+        const bool ok =
+            t >= beta || directed.node_ok(i, static_cast<Label>(t));
+        if (ok) lifted.allow_node(pack_in(i, o), pack_out(t, o));
+      }
+    }
+  }
+
+  // Edge checks. For the pair (A@oa, B@ob) in global order, the counter
+  // relation r = (ob - oa) mod 3 determines the intended direction:
+  // r = 1: A -> B; r = 2: B -> A; r = 0: broken edge.
+  enum View { kIAmPred, kIAmSucc, kBroken };
+  auto endpoint_ok = [&](std::size_t tag, View view) {
+    if (tag < beta) return true;
+    switch (tag - beta) {
+      case kColl: return view == kIAmSucc;
+      case kDiv: return view == kIAmPred;
+      case kSolo: return view == kBroken;
+      case kLast: return view == kIAmSucc || view == kBroken;
+      case kFirst: return view == kIAmPred || view == kBroken;
+      default: return false;
+    }
+  };
+  for (std::size_t ta = 0; ta < tags; ++ta) {
+    for (int oa = 0; oa < 3; ++oa) {
+      for (std::size_t tb = 0; tb < tags; ++tb) {
+        for (int ob = 0; ob < 3; ++ob) {
+          const int r = ((ob - oa) % 3 + 3) % 3;
+          bool ok;
+          if (r == 0) {
+            ok = endpoint_ok(ta, kBroken) && endpoint_ok(tb, kBroken);
+          } else if (r == 1) {  // A -> B
+            ok = endpoint_ok(ta, kIAmPred) && endpoint_ok(tb, kIAmSucc);
+            if (ok && ta < beta && tb < beta) {
+              ok = directed.edge_ok(static_cast<Label>(ta), static_cast<Label>(tb));
+            }
+          } else {  // B -> A
+            ok = endpoint_ok(ta, kIAmSucc) && endpoint_ok(tb, kIAmPred);
+            if (ok && ta < beta && tb < beta) {
+              ok = directed.edge_ok(static_cast<Label>(tb), static_cast<Label>(ta));
+            }
+          }
+          if (ok) lifted.allow_edge(pack_out(ta, oa), pack_out(tb, ob));
+        }
+      }
+    }
+  }
+  return lifted;
+}
+
+PairwiseProblem lift_path_to_cycle(const PairwiseProblem& path_problem) {
+  if (is_cycle(path_problem.topology())) {
+    throw std::invalid_argument("lift_path_to_cycle: source must be a path problem");
+  }
+  require_uniform_ends(path_problem, "lift_path_to_cycle");
+  const std::size_t alpha = path_problem.num_inputs();
+  const std::size_t beta = path_problem.num_outputs();
+
+  Alphabet in_alpha;
+  for (Label i = 0; i < alpha; ++i) {
+    in_alpha.add(path_problem.inputs().name(i) + "|plain");
+  }
+  for (Label i = 0; i < alpha; ++i) {
+    in_alpha.add(path_problem.inputs().name(i) + "|mark");
+  }
+  Alphabet out_alpha = path_problem.outputs();
+  const Label out_s = out_alpha.add("S");
+  const Label out_x = out_alpha.add("X");
+
+  PairwiseProblem lifted(path_problem.name() + " (cycle)", in_alpha, out_alpha,
+                         Topology::kDirectedCycle);
+  for (Label i = 0; i < alpha; ++i) {
+    for (Label t = 0; t < beta; ++t) {
+      if (path_problem.node_ok(i, t)) lifted.allow_node(i, t);  // plain node
+    }
+    lifted.allow_node(i, out_x);                                 // escape (plain only)
+    lifted.allow_node(static_cast<Label>(alpha + i), out_s);     // marked -> S
+  }
+  for (Label ta = 0; ta < beta; ++ta) {
+    for (Label tb = 0; tb < beta; ++tb) {
+      if (path_problem.edge_ok(ta, tb)) lifted.allow_edge(ta, tb);
+    }
+    // Segment end: the last node of a segment must respect the last mask.
+    if (path_problem.last_ok(ta)) lifted.allow_edge(ta, out_s);
+    // Segment start: the first node after a separator is unconstrained by
+    // its (virtual) predecessor.
+    lifted.allow_edge(out_s, ta);
+  }
+  lifted.allow_edge(out_s, out_s);
+  lifted.allow_edge(out_x, out_x);
+  return lifted;
+}
+
+Word orient_inputs(const PairwiseProblem& directed, const Word& inputs,
+                   std::size_t offset) {
+  (void)directed;
+  Word out;
+  out.reserve(inputs.size());
+  for (std::size_t v = 0; v < inputs.size(); ++v) {
+    out.push_back(static_cast<Label>(inputs[v] * 3 + (v + offset) % 3));
+  }
+  return out;
+}
+
+Word mark_inputs(const PairwiseProblem& path_problem, const Word& inputs,
+                 const std::vector<std::size_t>& marked_positions) {
+  const std::size_t alpha = path_problem.num_inputs();
+  Word out = inputs;
+  for (std::size_t pos : marked_positions) {
+    if (pos >= out.size()) throw std::out_of_range("mark_inputs: bad position");
+    out[pos] = static_cast<Label>(out[pos] + alpha);
+  }
+  return out;
+}
+
+}  // namespace lclpath::hardness

@@ -1,0 +1,41 @@
+// Section 3.7: lifting directed-path LCLs to undirected paths and to
+// cycles.
+//
+// Undirected lift: inputs gain an orientation counter in {0,1,2}; outputs
+// repeat it, so any two neighbors can recover the intended direction from
+// their output pair alone and replay the original directed edge check.
+// Where the counters are inconsistent, both sides are treated as path
+// ends (the paper's "treat the places where the orientation is not
+// consistent as a place where the path ends"). Consistently-counted
+// instances embed the original problem, so the complexity class is
+// preserved; the lifted edge constraint is orientation-symmetric by
+// construction.
+//
+// Cycle lift: inputs gain a separator mark; marked nodes output the
+// dedicated label S and cut the cycle into independent path instances.
+// If no node is marked, the whole cycle may output the escape label X
+// (and nothing else), which marked nodes can never join.
+//
+// Both lifts require the source problem to use the same node constraint
+// at path-interior and path-first nodes (true for every catalog problem);
+// the last-node mask is honored by the cycle lift.
+#pragma once
+
+#include "lcl/problem.hpp"
+
+namespace lclpath::hardness {
+
+/// Directed path/cycle problem -> undirected same-shape problem.
+PairwiseProblem lift_to_undirected(const PairwiseProblem& directed);
+
+/// Directed path problem -> directed cycle problem (separator marks).
+PairwiseProblem lift_path_to_cycle(const PairwiseProblem& path_problem);
+
+/// Instance helpers: attach a consistent orientation counter (offset
+/// selectable) / separator marks at the given positions.
+Word orient_inputs(const PairwiseProblem& directed, const Word& inputs,
+                   std::size_t offset = 0);
+Word mark_inputs(const PairwiseProblem& path_problem, const Word& inputs,
+                 const std::vector<std::size_t>& marked_positions);
+
+}  // namespace lclpath::hardness

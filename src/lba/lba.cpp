@@ -1,0 +1,155 @@
+#include "lba/lba.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/bitmatrix.hpp"  // hash_mix
+
+namespace lclpath::lba {
+
+std::string to_string(Symbol s) {
+  switch (s) {
+    case Symbol::k0: return "0";
+    case Symbol::k1: return "1";
+    case Symbol::kL: return "L";
+    case Symbol::kR: return "R";
+  }
+  return "?";
+}
+
+Machine::Machine(std::size_t num_states, State initial, State final_state,
+                 std::vector<std::string> state_names)
+    : num_states_(num_states),
+      initial_(initial),
+      final_(final_state),
+      names_(std::move(state_names)),
+      delta_(num_states * kNumSymbols) {
+  if (initial >= num_states || final_state >= num_states) {
+    throw std::invalid_argument("Machine: state index out of range");
+  }
+  if (names_.empty()) {
+    for (std::size_t q = 0; q < num_states; ++q) names_.push_back("q" + std::to_string(q));
+  }
+  if (names_.size() != num_states) {
+    throw std::invalid_argument("Machine: state name count mismatch");
+  }
+}
+
+const std::string& Machine::state_name(State q) const {
+  if (q >= num_states_) throw std::out_of_range("Machine::state_name");
+  return names_[q];
+}
+
+void Machine::set_transition(State q, Symbol s, Transition t) {
+  if (q >= num_states_) throw std::out_of_range("Machine::set_transition: bad state");
+  if (q == final_) {
+    throw std::invalid_argument("Machine::set_transition: final state has no outgoing delta");
+  }
+  if (t.next_state >= num_states_) {
+    throw std::out_of_range("Machine::set_transition: bad target state");
+  }
+  delta_[q * kNumSymbols + static_cast<std::size_t>(s)] = t;
+}
+
+const Transition& Machine::transition(State q, Symbol s) const {
+  const auto& t = delta_[q * kNumSymbols + static_cast<std::size_t>(s)];
+  if (!t) {
+    throw std::logic_error("Machine::transition: delta(" + state_name(q) + ", " +
+                           lba::to_string(s) + ") undefined");
+  }
+  return *t;
+}
+
+bool Machine::has_transition(State q, Symbol s) const {
+  return delta_[q * kNumSymbols + static_cast<std::size_t>(s)].has_value();
+}
+
+void Machine::validate() const {
+  for (State q = 0; q < num_states_; ++q) {
+    if (q == final_) continue;
+    for (std::size_t s = 0; s < kNumSymbols; ++s) {
+      if (!delta_[q * kNumSymbols + s]) {
+        throw std::logic_error("Machine::validate: delta(" + state_name(q) + ", " +
+                               lba::to_string(static_cast<Symbol>(s)) + ") undefined");
+      }
+    }
+  }
+}
+
+std::size_t Configuration::hash() const {
+  std::size_t h = hash_mix(state, head);
+  for (Symbol s : tape) h = hash_mix(h, static_cast<std::size_t>(s));
+  return h;
+}
+
+Configuration initial_configuration(const Machine& machine, std::size_t tape_size) {
+  if (tape_size < 2) throw std::invalid_argument("initial_configuration: B must be >= 2");
+  Configuration c;
+  c.state = machine.initial();
+  c.head = 0;
+  c.tape.assign(tape_size, Symbol::k0);
+  c.tape.front() = Symbol::kL;
+  c.tape.back() = Symbol::kR;
+  return c;
+}
+
+Configuration step(const Machine& machine, const Configuration& config) {
+  if (config.state == machine.final_state()) {
+    throw std::logic_error("lba::step: machine already in the final state");
+  }
+  const Transition& t = machine.transition(config.state, config.tape[config.head]);
+  Configuration next = config;
+  next.state = t.next_state;
+  next.tape[config.head] = t.write;
+  switch (t.move) {
+    case Move::kStay: break;
+    case Move::kLeft:
+      if (config.head == 0) {
+        throw std::logic_error("lba::step: head moved off the left boundary");
+      }
+      next.head = config.head - 1;
+      break;
+    case Move::kRight:
+      if (config.head + 1 >= config.tape.size()) {
+        throw std::logic_error("lba::step: head moved off the right boundary");
+      }
+      next.head = config.head + 1;
+      break;
+  }
+  return next;
+}
+
+RunResult run(const Machine& machine, std::size_t tape_size, std::size_t max_steps) {
+  machine.validate();
+  RunResult result;
+  Configuration current = initial_configuration(machine, tape_size);
+  std::unordered_map<std::size_t, std::vector<std::size_t>> seen;  // hash -> trace idx
+  result.trace.push_back(current);
+  seen[current.hash()].push_back(0);
+  for (std::size_t s = 0; s < max_steps; ++s) {
+    if (current.state == machine.final_state()) {
+      result.halts = true;
+      result.steps = s;
+      return result;
+    }
+    current = step(machine, current);
+    // Loop detection before pushing.
+    const std::size_t h = current.hash();
+    auto it = seen.find(h);
+    if (it != seen.end()) {
+      for (std::size_t idx : it->second) {
+        if (result.trace[idx] == current) {
+          result.trace.push_back(current);
+          result.halts = false;
+          result.loop_start = idx;
+          return result;
+        }
+      }
+    }
+    result.trace.push_back(current);
+    seen[h].push_back(result.trace.size() - 1);
+  }
+  throw std::runtime_error("lba::run: exceeded max_steps without halting or looping");
+}
+
+}  // namespace lclpath::lba

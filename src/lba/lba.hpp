@@ -1,0 +1,102 @@
+// Linear bounded automata (paper Section 3.1).
+//
+// An LBA is a Turing machine on a tape of fixed size B whose first and
+// last cells hold the boundary markers L and R. The hardness construction
+// (Section 3.2) encodes an LBA execution as the input labeling of a path;
+// the LCL family Pi_MB's complexity is Theta(B * T) where T is the LBA's
+// running time — with loop detection deciding which side of the
+// O(1)-vs-Omega(n) dichotomy the problem falls on (and deciding *that* is
+// PSPACE-hard, Theorem 5).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lclpath::lba {
+
+/// Tape symbols: 0, 1 and the boundary markers.
+enum class Symbol : std::uint8_t { k0 = 0, k1 = 1, kL = 2, kR = 3 };
+constexpr std::size_t kNumSymbols = 4;
+
+std::string to_string(Symbol s);
+
+/// Head movements.
+enum class Move : std::uint8_t { kStay, kLeft, kRight };
+
+using State = std::uint32_t;
+
+struct Transition {
+  State next_state = 0;
+  Symbol write = Symbol::k0;
+  Move move = Move::kStay;
+};
+
+/// M = (Q, q0, qf, Gamma, delta). States are dense indices; state 0 is the
+/// initial state by convention and `final_state` the accepting one.
+class Machine {
+ public:
+  Machine(std::size_t num_states, State initial, State final_state,
+          std::vector<std::string> state_names = {});
+
+  std::size_t num_states() const { return num_states_; }
+  State initial() const { return initial_; }
+  State final_state() const { return final_; }
+  const std::string& state_name(State q) const;
+
+  /// delta(q, s); must be set for every (q, s) with q != final_state.
+  void set_transition(State q, Symbol s, Transition t);
+  const Transition& transition(State q, Symbol s) const;
+  bool has_transition(State q, Symbol s) const;
+
+  /// Validates totality of delta on non-final states.
+  void validate() const;
+
+ private:
+  std::size_t num_states_;
+  State initial_;
+  State final_;
+  std::vector<std::string> names_;
+  std::vector<std::optional<Transition>> delta_;  // q * kNumSymbols + s
+};
+
+/// One configuration: state, tape, head position.
+struct Configuration {
+  State state = 0;
+  std::vector<Symbol> tape;
+  std::size_t head = 0;
+
+  bool operator==(const Configuration&) const = default;
+  std::size_t hash() const;
+};
+
+/// Initial configuration on a size-B tape: (L, 0, ..., 0, R), head at 0.
+/// Requires B >= 2.
+Configuration initial_configuration(const Machine& machine, std::size_t tape_size);
+
+/// Result of running a machine with loop detection.
+struct RunResult {
+  bool halts = false;
+  /// Number of steps until the final state (valid when halts).
+  std::size_t steps = 0;
+  /// The full execution trace: configurations step_0 (initial) .. step_T.
+  /// For looping machines: the trace up to (and including) the first
+  /// repeated configuration.
+  std::vector<Configuration> trace;
+  /// For looping machines: index at which the loop re-enters the trace.
+  std::optional<std::size_t> loop_start;
+};
+
+/// Runs the machine from the initial configuration, detecting loops by
+/// configuration hashing (the configuration space is finite:
+/// |Q| * B * |Gamma|^B). `max_steps` guards against pathological blowups;
+/// exceeding it throws std::runtime_error.
+RunResult run(const Machine& machine, std::size_t tape_size,
+              std::size_t max_steps = 10'000'000);
+
+/// Applies delta once. Throws if the configuration is final or the head
+/// would leave the tape (a malformed machine).
+Configuration step(const Machine& machine, const Configuration& config);
+
+}  // namespace lclpath::lba

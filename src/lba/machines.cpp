@@ -1,0 +1,76 @@
+#include "lba/machines.hpp"
+
+namespace lclpath::lba {
+
+namespace {
+constexpr Symbol k0 = Symbol::k0;
+constexpr Symbol k1 = Symbol::k1;
+constexpr Symbol kL = Symbol::kL;
+constexpr Symbol kR = Symbol::kR;
+
+/// Fills any undefined transition with a harmless self-loop so that
+/// validate() passes; the filled entries are unreachable by construction
+/// of the specific machines below.
+void fill_unreachable(Machine& m) {
+  for (State q = 0; q < m.num_states(); ++q) {
+    if (q == m.final_state()) continue;
+    for (std::size_t s = 0; s < kNumSymbols; ++s) {
+      const Symbol symbol = static_cast<Symbol>(s);
+      if (!m.has_transition(q, symbol)) {
+        m.set_transition(q, symbol, {q, symbol, Move::kStay});
+      }
+    }
+  }
+}
+}  // namespace
+
+Machine immediate_halt() {
+  Machine m(2, 0, 1, {"q0", "qf"});
+  m.set_transition(0, kL, {1, kL, Move::kStay});
+  fill_unreachable(m);
+  // The filled self-loops on q0 are unreachable: the head starts on L.
+  return m;
+}
+
+Machine unary_counter() {
+  // q0 scans right over L/1s; the first 0 becomes 1 and q1 rewinds to L.
+  // Reading R in q0 means the tape is full: accept.
+  Machine m(3, 0, 2, {"q0", "q1", "qf"});
+  m.set_transition(0, kL, {0, kL, Move::kRight});
+  m.set_transition(0, k1, {0, k1, Move::kRight});
+  m.set_transition(0, k0, {1, k1, Move::kLeft});
+  m.set_transition(0, kR, {2, kR, Move::kStay});
+  m.set_transition(1, k1, {1, k1, Move::kLeft});
+  m.set_transition(1, kL, {0, kL, Move::kRight});
+  fill_unreachable(m);
+  return m;
+}
+
+Machine binary_counter() {
+  // q0 walks to the right marker; q1 increments right-to-left (1 -> 0 and
+  // keep carrying, 0 -> 1 and go back to q0). Carrying into L overflows:
+  // accept. Runs for Theta(2^B) steps.
+  Machine m(3, 0, 2, {"q0", "q1", "qf"});
+  m.set_transition(0, kL, {0, kL, Move::kRight});
+  m.set_transition(0, k0, {0, k0, Move::kRight});
+  m.set_transition(0, k1, {0, k1, Move::kRight});
+  m.set_transition(0, kR, {1, kR, Move::kLeft});
+  m.set_transition(1, k1, {1, k0, Move::kLeft});
+  m.set_transition(1, k0, {0, k1, Move::kRight});
+  m.set_transition(1, kL, {2, kL, Move::kStay});
+  fill_unreachable(m);
+  return m;
+}
+
+Machine looper() {
+  // Bounces between the two leftmost cells forever; qf unreachable.
+  Machine m(3, 0, 2, {"q0", "q1", "qf"});
+  m.set_transition(0, kL, {1, kL, Move::kRight});
+  m.set_transition(1, k0, {0, k0, Move::kLeft});
+  m.set_transition(1, k1, {0, k1, Move::kLeft});
+  m.set_transition(1, kR, {0, kR, Move::kLeft});
+  fill_unreachable(m);
+  return m;
+}
+
+}  // namespace lclpath::lba

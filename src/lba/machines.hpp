@@ -1,0 +1,22 @@
+// LBA catalog used by the hardness experiments.
+//
+//  * immediate_halt: accepts in one step — Pi_MB is O(1) with a tiny
+//    constant.
+//  * unary_counter: flips tape cells to 1 one sweep at a time; halts after
+//    Theta(B^2) steps (Figure 1's flavor of machine).
+//  * binary_counter: increments a binary counter until overflow; halts
+//    after Theta(2^B) steps — the witness for Theorem 4's 2^Omega(beta)
+//    constant-time complexity.
+//  * looper: never halts — Pi_MB becomes Theta(n).
+#pragma once
+
+#include "lba/lba.hpp"
+
+namespace lclpath::lba {
+
+Machine immediate_halt();
+Machine unary_counter();
+Machine binary_counter();
+Machine looper();
+
+}  // namespace lclpath::lba

@@ -1,0 +1,99 @@
+// A catalog of classic LCL problems on paths/cycles with known LOCAL
+// complexities. These are the ground truth used to validate the classifier
+// (Theorems 8/9) and the benchmark workloads for experiments E7/E8/E9.
+//
+// Known classes (deterministic LOCAL):
+//   * k-coloring, k >= 3, on cycles ............... Theta(log* n)
+//   * 2-coloring on directed paths ................ Theta(n)
+//   * 2-coloring on cycles ........................ unsolvable (odd cycles)
+//   * maximal independent set on cycles ........... Theta(log* n)
+//   * constant output / copy input / shift input .. O(1)
+//   * secret agreement (paper's Start(phi) idea) ... Theta(n), always solvable
+//   * input-gated coloring ........................ Theta(log* n)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lcl/problem.hpp"
+
+namespace lclpath {
+
+/// Complexity classes an LCL on a path/cycle can have (paper Section 1:
+/// the landscape on Delta = 2 collapses to these three), plus the
+/// degenerate case that some instance admits no valid labeling at all.
+enum class ComplexityClass : std::uint8_t {
+  kUnsolvable,  ///< some instance has no valid labeling
+  kConstant,    ///< O(1)
+  kLogStar,     ///< Theta(log* n)
+  kLinear,      ///< Theta(n)
+};
+
+std::string to_string(ComplexityClass c);
+
+/// A catalog entry: a problem plus its textbook complexity.
+struct CatalogEntry {
+  PairwiseProblem problem;
+  ComplexityClass expected;
+  std::string note;
+};
+
+namespace catalog {
+
+/// Proper k-coloring (outputs c0..c_{k-1}, adjacent outputs differ).
+/// Single dummy input label. Theta(log* n) for k >= 3 on cycles;
+/// k = 2 is Theta(n) on paths and unsolvable on cycles.
+PairwiseProblem coloring(std::size_t k, Topology topology = Topology::kDirectedCycle);
+
+/// Maximal independent set on a directed cycle, phrased pairwise:
+/// outputs {I, A, B}; I nodes form the set; A = "predecessor is in I",
+/// B = "successor is in I"; gaps between I nodes have length 1 or 2.
+/// Theta(log* n).
+PairwiseProblem maximal_independent_set();
+
+/// All nodes must output the single label "x" — O(1), zero rounds.
+PairwiseProblem constant_output(Topology topology = Topology::kDirectedCycle);
+
+/// Output must equal the binary input — O(1), zero rounds.
+PairwiseProblem copy_input(Topology topology = Topology::kDirectedCycle);
+
+/// Proper 2-coloring (alias coloring(2)).
+PairwiseProblem two_coloring(Topology topology = Topology::kDirectedCycle);
+
+/// out(v) = out(pred(v)) XOR in(v): forces every output to be the prefix
+/// parity of the inputs, up to the free choice at the path start.
+/// Theta(n) on directed paths; on cycles odd-parity instances are
+/// unsolvable.
+PairwiseProblem prefix_parity(Topology topology = Topology::kDirectedPath);
+
+/// A problem with no valid labeling on any instance (empty C_node).
+PairwiseProblem empty_problem(Topology topology = Topology::kDirectedCycle);
+
+/// Secret agreement — a miniature of the paper's Start(phi) construction
+/// (Section 3.2): inputs {sa, sb, 0}. A node with input sa outputs the
+/// marker Sa (resp. sb -> Sb); plain nodes must repeat the secret letter
+/// (A after Sa, B after Sb) until the next marker; on marker-free
+/// instances everybody may output the escape letter E. Always solvable,
+/// Theta(n): far-from-marker nodes cannot learn the secret locally.
+PairwiseProblem agreement(Topology topology = Topology::kDirectedCycle);
+
+/// out(v) must equal in(succ(v)), carried as output pairs (my input, my
+/// guess). O(1) — exactly one round.
+PairwiseProblem shift_input(Topology topology = Topology::kDirectedCycle);
+
+/// Outputs are (color in {0,1,2}, flag); flag must equal the node's input
+/// bit; where the flag is 1 the color must differ from the predecessor's.
+/// All-ones instances embed 3-coloring: Theta(log* n).
+PairwiseProblem input_gated_coloring(Topology topology = Topology::kDirectedCycle);
+
+/// Two outputs, every pair allowed everywhere — trivial O(1) with a
+/// nontrivial alphabet.
+PairwiseProblem always_accept(Topology topology = Topology::kDirectedCycle);
+
+/// The full validation catalog with expected classes.
+std::vector<CatalogEntry> validation_catalog();
+
+}  // namespace catalog
+}  // namespace lclpath

@@ -1,0 +1,131 @@
+#include "lcl/compile.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace lclpath {
+
+namespace {
+
+/// Window overlap check: w2 must equal w1 shifted left by one, on both
+/// inputs and outputs, over the full overlap range.
+bool consistent_shift(const WindowConstraint& w1, const WindowConstraint& w2) {
+  // Full windows on a cycle all have the same width and center.
+  const std::size_t width = w1.inputs.size();
+  if (w2.inputs.size() != width) return false;
+  for (std::size_t i = 0; i + 1 < width; ++i) {
+    if (w1.inputs[i + 1] != w2.inputs[i]) return false;
+    if (w1.outputs[i + 1] != w2.outputs[i]) return false;
+  }
+  return true;
+}
+
+std::string window_name(const GeneralProblem& p, const WindowConstraint& w) {
+  std::string name = "[";
+  for (std::size_t i = 0; i < w.inputs.size(); ++i) {
+    if (i > 0) name += "|";
+    name += p.inputs().name(w.inputs[i]) + "/" + p.outputs().name(w.outputs[i]);
+  }
+  name += "]";
+  return name;
+}
+
+}  // namespace
+
+Label CompiledProblem::decode_center(Label compiled_output) const {
+  if (compiled_output >= center_outputs.size()) {
+    throw std::out_of_range("CompiledProblem::decode_center: bad label");
+  }
+  return center_outputs[compiled_output];
+}
+
+Word CompiledProblem::encode(const GeneralProblem& original, const Word& inputs,
+                             const Word& outputs) const {
+  const std::size_t n = inputs.size();
+  const std::size_t r = radius;
+  Word compiled(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    WindowConstraint w;
+    w.center = r;
+    for (std::size_t k = 0; k < 2 * r + 1; ++k) {
+      const std::size_t idx = (v + n + k - r) % n;
+      w.inputs.push_back(inputs[idx]);
+      w.outputs.push_back(outputs[idx]);
+    }
+    bool found = false;
+    for (std::size_t label = 0; label < windows.size(); ++label) {
+      if (windows[label] == w) {
+        compiled[v] = static_cast<Label>(label);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw std::invalid_argument(
+          "CompiledProblem::encode: original labeling uses a non-acceptable window "
+          "(node " +
+          std::to_string(v) + " of '" + original.name() + "')");
+    }
+  }
+  return compiled;
+}
+
+Word CompiledProblem::decode(const Word& compiled_outputs) const {
+  Word out;
+  out.reserve(compiled_outputs.size());
+  for (Label label : compiled_outputs) out.push_back(decode_center(label));
+  return out;
+}
+
+CompiledProblem compile_to_pairwise(const GeneralProblem& problem) {
+  if (!is_cycle(problem.topology())) {
+    throw std::invalid_argument(
+        "compile_to_pairwise: only cycle topologies are supported; author path "
+        "problems directly in pairwise form (the paper's beta-normalized shape) so "
+        "that endpoint behavior is explicit");
+  }
+  const std::size_t r = problem.radius();
+  const std::size_t full = 2 * r + 1;
+
+  // Deduplicate acceptable full windows; each becomes an output label.
+  std::vector<WindowConstraint> windows;
+  for (const WindowConstraint& w : problem.windows()) {
+    if (w.inputs.size() != full || w.center != r) continue;  // paths-only shapes
+    bool seen = false;
+    for (const WindowConstraint& existing : windows) {
+      if (existing == w) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) windows.push_back(w);
+  }
+
+  Alphabet out_alpha;
+  for (const WindowConstraint& w : windows) out_alpha.add(window_name(problem, w));
+
+  CompiledProblem compiled{
+      PairwiseProblem(problem.name() + " (compiled r=" + std::to_string(r) + ")",
+                      problem.inputs(), out_alpha, problem.topology()),
+      r,
+      {},
+      {}};
+  compiled.windows = windows;
+  for (const WindowConstraint& w : windows) compiled.center_outputs.push_back(w.outputs[r]);
+
+  // Node constraint: the window's center input must match the node's input.
+  for (std::size_t label = 0; label < windows.size(); ++label) {
+    compiled.pairwise.allow_node(windows[label].inputs[r], static_cast<Label>(label));
+  }
+  // Edge constraint: consecutive windows are one-step shifts of each other.
+  for (std::size_t a = 0; a < windows.size(); ++a) {
+    for (std::size_t b = 0; b < windows.size(); ++b) {
+      if (consistent_shift(windows[a], windows[b])) {
+        compiled.pairwise.allow_edge(static_cast<Label>(a), static_cast<Label>(b));
+      }
+    }
+  }
+  return compiled;
+}
+
+}  // namespace lclpath

@@ -1,0 +1,53 @@
+// Compilation of radius-r LCLs to the pairwise (r = 1) canonical form.
+//
+// The paper's decidability machinery (Section 4) is stated for general
+// LCLs but all of its bookkeeping happens on boundary regions of width
+// O(r); our decider instead takes the beta-normalized shape (Section 2)
+// generalized to arbitrary alphabets. This file provides the standard
+// window construction that makes the two views interchangeable:
+//
+//   * each node's new output is its radius-r window of (input, output)
+//     pairs in the original problem;
+//   * the new node constraint checks that the window's center input matches
+//     the node's real input and that the window is an acceptable
+//     neighborhood of the original problem;
+//   * the new edge constraint checks that consecutive windows are
+//     consistent overlapping shifts of one another.
+//
+// A labeling of the compiled problem exists iff one of the original
+// problem exists, and any T-round algorithm for one yields a (T +- r)-round
+// algorithm for the other, so the complexity class is preserved.
+#pragma once
+
+#include "lcl/problem.hpp"
+
+namespace lclpath {
+
+/// Result of compiling: the pairwise problem plus codecs between original
+/// and compiled labelings.
+struct CompiledProblem {
+  PairwiseProblem pairwise;
+  /// Window shape metadata for decoding: windows are full (2r+1 wide) on
+  /// cycles; on paths, truncated windows near the endpoints carry their
+  /// center offset.
+  std::size_t radius = 1;
+
+  /// Maps a compiled output label back to the original center output.
+  Label decode_center(Label compiled_output) const;
+  /// Encodes an original labeling as the compiled one (for tests).
+  Word encode(const GeneralProblem& original, const Word& inputs, const Word& outputs) const;
+  /// Decodes a compiled labeling to the original one.
+  Word decode(const Word& compiled_outputs) const;
+
+  /// center output per compiled label (decode table).
+  std::vector<Label> center_outputs;
+  /// full window content per compiled label (for encode / tests).
+  std::vector<WindowConstraint> windows;
+};
+
+/// Compiles a general radius-r problem into pairwise form. Only windows
+/// acceptable for the original problem become output labels, which keeps
+/// the compiled alphabet as small as the problem allows.
+CompiledProblem compile_to_pairwise(const GeneralProblem& problem);
+
+}  // namespace lclpath

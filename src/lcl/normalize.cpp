@@ -1,0 +1,212 @@
+#include "lcl/normalize.hpp"
+
+#include <stdexcept>
+
+namespace lclpath {
+
+PairwiseProblem normalize_edge_verifier(const EdgeVerifierProblem& source) {
+  const std::size_t alpha = source.inputs.size();
+  const std::size_t beta = source.outputs.size();
+  Alphabet out_alpha;
+  for (Label i = 0; i < alpha; ++i) {
+    for (Label o = 0; o < beta; ++o) {
+      out_alpha.add(source.inputs.name(i) + "/" + source.outputs.name(o));
+    }
+  }
+  PairwiseProblem problem(source.name + " (lemma2)", source.inputs, out_alpha,
+                          source.topology);
+  auto pack = [beta](Label in, Label out) { return static_cast<Label>(in * beta + out); };
+  for (Label i = 0; i < alpha; ++i) {
+    for (Label o = 0; o < beta; ++o) {
+      // The copied input must match; the original node check applies.
+      if (source.node_ok(i, o)) problem.allow_node(i, pack(i, o));
+    }
+  }
+  for (Label ia = 0; ia < alpha; ++ia) {
+    for (Label oa = 0; oa < beta; ++oa) {
+      for (Label ib = 0; ib < alpha; ++ib) {
+        for (Label ob = 0; ob < beta; ++ob) {
+          if (source.edge_ok(ia, oa, ib, ob)) {
+            problem.allow_edge(pack(ia, oa), pack(ib, ob));
+          }
+        }
+      }
+    }
+  }
+  return problem;
+}
+
+namespace {
+
+std::size_t ceil_log2(std::size_t x) {
+  std::size_t bits = 0;
+  std::size_t value = 1;
+  while (value < x) {
+    value *= 2;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+Word BinaryNormalized::encode_inputs(const Word& original) const {
+  Word out;
+  out.reserve(original.size() * gamma);
+  const std::size_t a = bits_per_input;
+  for (Label input : original) {
+    for (std::size_t k = 0; k <= a; ++k) out.push_back(1);  // a+1 ones
+    out.push_back(0);
+    for (std::size_t k = 0; k < a; ++k) out.push_back((input >> (a - 1 - k)) & 1u);
+    out.push_back(0);
+  }
+  return out;
+}
+
+Word BinaryNormalized::decode_outputs(const Word& normalized_outputs) const {
+  Word out;
+  const std::size_t tags = original_outputs + 3;
+  for (std::size_t g = 0; g * gamma < normalized_outputs.size(); ++g) {
+    const Label label = normalized_outputs[g * gamma];
+    const std::size_t tag = label % tags;
+    if (tag >= original_outputs) {
+      throw std::invalid_argument("decode_outputs: group " + std::to_string(g) +
+                                  " carries an error tag");
+    }
+    out.push_back(static_cast<Label>(tag));
+  }
+  return out;
+}
+
+BinaryNormalized normalize_binary(const PairwiseProblem& original) {
+  if (is_cycle(original.topology())) {
+    // Lemma 3 is stated for directed paths (the Er rule needs the path
+    // end); Section 3.7 lifts to cycles separately.
+    throw std::invalid_argument("normalize_binary: directed paths only");
+  }
+  const std::size_t alpha = original.num_inputs();
+  const std::size_t beta = original.num_outputs();
+  const std::size_t a = std::max<std::size_t>(1, ceil_log2(alpha));
+  const std::size_t gamma = 2 * a + 3;
+  const std::size_t windows = std::size_t{1} << gamma;
+  const std::size_t tags = beta + 3;  // Sigma_out + {El, E, Er}
+  const Label tag_el = static_cast<Label>(beta);
+  const Label tag_e = static_cast<Label>(beta + 1);
+  const Label tag_er = static_cast<Label>(beta + 2);
+
+  // Output label = window * tags + tag; window bit j = input of the j-th
+  // successor (bit 0 = own input), packed little-endian by position.
+  auto pack = [tags](std::size_t window, std::size_t tag) {
+    return static_cast<Label>(window * tags + tag);
+  };
+  auto window_bit = [](std::size_t window, std::size_t j) -> Label {
+    return static_cast<Label>((window >> j) & 1u);
+  };
+
+  Alphabet in_alpha({"0", "1"});
+  Alphabet out_alpha;
+  for (std::size_t w = 0; w < windows; ++w) {
+    std::string bits;
+    for (std::size_t j = 0; j < gamma; ++j) bits += static_cast<char>('0' + window_bit(w, j));
+    for (std::size_t t = 0; t < tags; ++t) {
+      std::string tag_name =
+          t < beta ? original.outputs().name(static_cast<Label>(t))
+                   : (t == beta ? "<El>" : (t == beta + 1 ? "<E>" : "<Er>"));
+      out_alpha.add(bits + ":" + tag_name);
+    }
+  }
+
+  BinaryNormalized result{
+      PairwiseProblem(original.name() + " (lemma3)", in_alpha, out_alpha,
+                      Topology::kDirectedPath),
+      a, gamma, beta};
+  PairwiseProblem& p = result.problem;
+
+  // Template compatibility: is the window consistent with *some* position
+  // inside a valid Figure-3 encoding? Template over one period (length
+  // gamma): positions 0..a = 1; a+1 = 0; a+2..2a+1 = payload (free);
+  // 2a+2 = 0.
+  auto template_fixed = [&](std::size_t pos_in_group) -> int {  // -1 = free
+    if (pos_in_group <= a) return 1;
+    if (pos_in_group == a + 1 || pos_in_group == 2 * a + 2) return 0;
+    return -1;
+  };
+  auto window_encodable = [&](std::size_t window) {
+    for (std::size_t offset = 0; offset < gamma; ++offset) {
+      bool ok = true;
+      for (std::size_t j = 0; j < gamma && ok; ++j) {
+        const int fixed = template_fixed((offset + j) % gamma);
+        if (fixed >= 0 && window_bit(window, j) != static_cast<Label>(fixed)) ok = false;
+      }
+      if (ok) return true;
+    }
+    return false;
+  };
+  auto group_start = [&](std::size_t window) {
+    // The a+1 leading ones followed by 0 identify a group start.
+    for (std::size_t j = 0; j <= a; ++j) {
+      if (window_bit(window, j) != 1) return false;
+    }
+    return window_bit(window, a + 1) == 0 && window_bit(window, 2 * a + 2) == 0;
+  };
+  auto payload_of = [&](std::size_t window) -> Label {
+    Label x = 0;
+    for (std::size_t k = 0; k < a; ++k) {
+      x = static_cast<Label>((x << 1) | window_bit(window, a + 2 + k));
+    }
+    return x;
+  };
+
+  // Node constraints (V'_in-out).
+  for (std::size_t w = 0; w < windows; ++w) {
+    for (std::size_t t = 0; t < tags; ++t) {
+      const Label out = pack(w, t);
+      const Label own = window_bit(w, 0);
+      bool ok = true;
+      if (t < beta) {
+        if (group_start(w)) {
+          const Label x = payload_of(w);
+          ok = x < alpha && original.node_ok(x, static_cast<Label>(t));
+        }
+      } else if (t == tag_e) {
+        ok = !window_encodable(w);
+      }
+      if (ok) p.allow_node(own, out);
+    }
+  }
+
+  // Edge constraints (V'_out-out).
+  for (std::size_t wp = 0; wp < windows; ++wp) {
+    // Successor windows consistent with the shift: w[j] = wp[j+1].
+    for (std::size_t t_pred = 0; t_pred < tags; ++t_pred) {
+      for (Label last_bit = 0; last_bit < 2; ++last_bit) {
+        const std::size_t w = (wp >> 1) | (static_cast<std::size_t>(last_bit) << (gamma - 1));
+        for (std::size_t t = 0; t < tags; ++t) {
+          bool ok = true;
+          if (t < beta && t_pred < beta) {
+            if (group_start(w)) {
+              ok = original.edge_ok(static_cast<Label>(t_pred), static_cast<Label>(t));
+            } else {
+              ok = t == t_pred;
+            }
+          } else if (t == tag_el) {
+            ok = t_pred == tag_el || t_pred == tag_e;  // error lies to the left
+          } else if (t < beta) {
+            ok = ok && t_pred != tag_er;
+          }
+          if (ok) p.allow_edge(pack(wp, t_pred), pack(w, t));
+        }
+      }
+    }
+  }
+  // Er must always have a successor pointing on toward an E: forbid it at
+  // the path's last node (the paper's "must have a successor").
+  for (std::size_t w = 0; w < windows; ++w) p.forbid_last(pack(w, tag_er));
+  // An Er's successor must continue the chain or be the E itself:
+  // enforced from the successor side above for plain tags; El after Er is
+  // also impossible (El requires pred in {El, E}); Er -> Er and Er -> E
+  // remain allowed.
+  return result;
+}
+
+}  // namespace lclpath

@@ -1,0 +1,63 @@
+// LCL normalization (Section 3.5, Lemmas 2 and 3, Figure 3).
+//
+// Lemma 2: a problem checked by a V_in,in-out,out verifier (which sees
+// both endpoints of an edge in full) becomes a problem checked by
+// V_in-out + V_out-out (our PairwiseProblem) by extending the output
+// alphabet to Sigma_in x Sigma_out: each node repeats its input in its
+// output, the node verifier checks the copy, and the edge verifier
+// replays the original check on the copied pairs.
+//
+// Lemma 3: any pairwise problem with alpha inputs and beta outputs
+// becomes a *beta'-normalized* problem (binary inputs!) by blowing every
+// node up to gamma = 2*ceil(log2 alpha) + 3 nodes laid out as
+//
+//     1^(a+1)  0  b_1 .. b_a  0        (a = ceil(log2 alpha))
+//
+// (Figure 3). Outputs carry the gamma-bit input window plus the original
+// output or one of the error escapes {El, E, Er}; beta' = 2^gamma *
+// (beta + 3). The construction preserves the complexity class up to the
+// constant factor gamma (the paper's Theta(gamma * T(n / gamma))).
+#pragma once
+
+#include <functional>
+
+#include "lcl/problem.hpp"
+
+namespace lclpath {
+
+/// A problem whose verifier sees (in_u, out_u, in_v, out_v) on every
+/// directed edge u -> v, plus a per-node (in, out) check.
+struct EdgeVerifierProblem {
+  std::string name;
+  Alphabet inputs;
+  Alphabet outputs;
+  Topology topology = Topology::kDirectedCycle;
+  /// Node check (first node of a path is checked only by this).
+  std::function<bool(Label in, Label out)> node_ok;
+  /// Full edge check.
+  std::function<bool(Label in_u, Label out_u, Label in_v, Label out_v)> edge_ok;
+};
+
+/// Lemma 2: compile to the pairwise form with |Sigma_out'| = alpha * beta.
+/// The new output label (i, o) is named "<in>/<out>".
+PairwiseProblem normalize_edge_verifier(const EdgeVerifierProblem& problem);
+
+/// Lemma 3 artifacts.
+struct BinaryNormalized {
+  PairwiseProblem problem;      ///< binary-input beta'-normalized problem
+  std::size_t bits_per_input;   ///< a = ceil(log2 alpha)
+  std::size_t gamma;            ///< nodes per original node
+
+  /// Encodes an original instance's input word (Figure 3 layout).
+  Word encode_inputs(const Word& original) const;
+  /// Decodes the original outputs from the normalized ones (one original
+  /// output per gamma-node group, read at the group's first node).
+  Word decode_outputs(const Word& normalized_outputs) const;
+
+  std::size_t original_outputs = 0;
+};
+
+/// Lemma 3: binary normalization of a pairwise problem.
+BinaryNormalized normalize_binary(const PairwiseProblem& original);
+
+}  // namespace lclpath

@@ -1,0 +1,147 @@
+#include "lcl/serialize.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace lclpath {
+
+namespace {
+
+const std::map<std::string, Topology>& topology_names() {
+  static const std::map<std::string, Topology> names = {
+      {"directed-path", Topology::kDirectedPath},
+      {"directed-cycle", Topology::kDirectedCycle},
+      {"undirected-path", Topology::kUndirectedPath},
+      {"undirected-cycle", Topology::kUndirectedCycle},
+  };
+  return names;
+}
+
+std::string topology_keyword(Topology t) {
+  for (const auto& [name, topo] : topology_names()) {
+    if (topo == t) return name;
+  }
+  return "directed-cycle";
+}
+
+std::vector<std::string> tokens_of(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) tokens.push_back(token);
+  return tokens;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& why) {
+  throw std::invalid_argument("parse_problem: line " + std::to_string(line_no) + ": " + why);
+}
+
+}  // namespace
+
+std::string serialize(const PairwiseProblem& problem) {
+  std::ostringstream out;
+  serialize(problem, out);
+  return out.str();
+}
+
+void serialize(const PairwiseProblem& problem, std::ostream& out) {
+  out << "lcl " << problem.name() << "\n";
+  out << "topology " << topology_keyword(problem.topology()) << "\n";
+  out << "inputs";
+  for (const std::string& name : problem.inputs().names()) out << " " << name;
+  out << "\noutputs";
+  for (const std::string& name : problem.outputs().names()) out << " " << name;
+  out << "\n";
+  for (Label in = 0; in < problem.num_inputs(); ++in) {
+    for (Label o = 0; o < problem.num_outputs(); ++o) {
+      if (problem.node_ok(in, o)) {
+        out << "node " << problem.inputs().name(in) << " " << problem.outputs().name(o)
+            << "\n";
+      }
+    }
+  }
+  for (Label a = 0; a < problem.num_outputs(); ++a) {
+    for (Label b = 0; b < problem.num_outputs(); ++b) {
+      if (problem.edge_ok(a, b)) {
+        out << "edge " << problem.outputs().name(a) << " " << problem.outputs().name(b)
+            << "\n";
+      }
+    }
+  }
+  out << "end\n";
+}
+
+PairwiseProblem parse_problem(const std::string& text) {
+  std::istringstream stream(text);
+  return parse_problem(stream);
+}
+
+PairwiseProblem parse_problem(std::istream& in) {
+  std::string name = "unnamed";
+  Topology topology = Topology::kDirectedCycle;
+  std::optional<Alphabet> inputs;
+  std::optional<Alphabet> outputs;
+  struct Pair {
+    std::string a, b;
+    std::size_t line;
+  };
+  std::vector<Pair> node_pairs;
+  std::vector<Pair> edge_pairs;
+  bool saw_end = false;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line[0] == '#') continue;
+    const std::vector<std::string> tokens = tokens_of(line);
+    if (tokens.empty()) continue;
+    const std::string& keyword = tokens[0];
+    if (keyword == "lcl") {
+      if (tokens.size() < 2) fail(line_no, "'lcl' needs a name");
+      name = tokens[1];
+      for (std::size_t i = 2; i < tokens.size(); ++i) name += " " + tokens[i];
+    } else if (keyword == "topology") {
+      if (tokens.size() != 2) fail(line_no, "'topology' needs one keyword");
+      auto it = topology_names().find(tokens[1]);
+      if (it == topology_names().end()) fail(line_no, "unknown topology '" + tokens[1] + "'");
+      topology = it->second;
+    } else if (keyword == "inputs" || keyword == "outputs") {
+      if (tokens.size() < 2) fail(line_no, "'" + keyword + "' needs at least one label");
+      Alphabet alphabet;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        if (alphabet.contains(tokens[i])) fail(line_no, "duplicate label '" + tokens[i] + "'");
+        alphabet.add(tokens[i]);
+      }
+      (keyword == "inputs" ? inputs : outputs) = std::move(alphabet);
+    } else if (keyword == "node" || keyword == "edge") {
+      if (tokens.size() != 3) fail(line_no, "'" + keyword + "' needs two labels");
+      (keyword == "node" ? node_pairs : edge_pairs).push_back({tokens[1], tokens[2], line_no});
+    } else if (keyword == "end") {
+      saw_end = true;
+      break;
+    } else {
+      fail(line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!saw_end) fail(line_no, "missing 'end'");
+  if (!inputs) fail(line_no, "missing 'inputs'");
+  if (!outputs) fail(line_no, "missing 'outputs'");
+
+  PairwiseProblem problem(name, *inputs, *outputs, topology);
+  for (const Pair& p : node_pairs) {
+    if (!inputs->contains(p.a)) fail(p.line, "unknown input label '" + p.a + "'");
+    if (!outputs->contains(p.b)) fail(p.line, "unknown output label '" + p.b + "'");
+    problem.allow_node(p.a, p.b);
+  }
+  for (const Pair& p : edge_pairs) {
+    if (!outputs->contains(p.a)) fail(p.line, "unknown output label '" + p.a + "'");
+    if (!outputs->contains(p.b)) fail(p.line, "unknown output label '" + p.b + "'");
+    problem.allow_edge(p.a, p.b);
+  }
+  return problem;
+}
+
+}  // namespace lclpath

@@ -1,0 +1,37 @@
+// Plain-text (de)serialization of pairwise LCL problems.
+//
+// The paper's premise is that an LCL has a finite description which can be
+// handed to a decision procedure; this is that description, as a
+// line-oriented format:
+//
+//   lcl 3-coloring
+//   topology directed-cycle
+//   inputs _
+//   outputs c0 c1 c2
+//   node _ c0
+//   node _ c1
+//   node _ c2
+//   edge c0 c1
+//   ...
+//   end
+//
+// Lines starting with '#' are comments. Used by the examples and by the
+// golden-file tests.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "lcl/problem.hpp"
+
+namespace lclpath {
+
+std::string serialize(const PairwiseProblem& problem);
+void serialize(const PairwiseProblem& problem, std::ostream& out);
+
+/// Parses the format above; throws std::invalid_argument with a line
+/// number on malformed input.
+PairwiseProblem parse_problem(const std::string& text);
+PairwiseProblem parse_problem(std::istream& in);
+
+}  // namespace lclpath

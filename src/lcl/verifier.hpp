@@ -1,0 +1,68 @@
+// Centralized verifiers for LCL labelings on paths and cycles.
+//
+// The paper's verifier taxonomy (Section 3.5): V_in-out checks each node's
+// (input, output) pair, V_out-out checks each directed edge's (output,
+// output) pair, and V_in,in-out,out sees both nodes of an edge in full.
+// PairwiseProblem bundles the first two; GeneralProblem carries radius-r
+// window constraints. These functions evaluate them over whole instances
+// (words of inputs/outputs) and also expose per-node "locally consistent
+// at v" checks, which Section 4's extendibility machinery is defined from.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lcl/problem.hpp"
+
+namespace lclpath {
+
+/// Outcome of verification; on failure, identifies the first offending node
+/// and a human-readable reason (for test diagnostics).
+struct VerifyResult {
+  bool ok = true;
+  std::size_t failed_at = 0;
+  std::string reason;
+
+  static VerifyResult success() { return {}; }
+  static VerifyResult failure(std::size_t at, std::string why) {
+    return {false, at, std::move(why)};
+  }
+};
+
+/// Checks a complete labeling of a directed path/cycle against a pairwise
+/// problem. `inputs` and `outputs` must have equal, nonzero size. For
+/// cycles, the edge (last -> first) is checked too. For undirected
+/// topologies the problem must be orientation-symmetric and the same check
+/// applies (symmetry makes the orientation choice irrelevant).
+VerifyResult verify_pairwise(const PairwiseProblem& problem, const Word& inputs,
+                             const Word& outputs);
+
+/// Paper Section 4 "locally consistent at v" for the pairwise (r = 1) form:
+/// node v's own (input, output) pair is allowed, and — if v has a
+/// predecessor (v > 0, or any v on a cycle) — the incoming edge pair is
+/// allowed. `cycle` controls whether index 0 wraps to the last node.
+bool locally_consistent_at(const PairwiseProblem& problem, const Word& inputs,
+                           const Word& outputs, std::size_t v, bool cycle);
+
+/// Checks a complete labeling against a radius-r general problem: every
+/// node's (possibly truncated) window must be among the accepted ones.
+VerifyResult verify_general(const GeneralProblem& problem, const Word& inputs,
+                            const Word& outputs);
+
+/// Exhaustively searches for a valid output labeling of the given inputs
+/// under a pairwise problem (dynamic programming over the path / cycle).
+/// Returns std::nullopt if none exists. Deterministic: returns the
+/// lexicographically smallest valid labeling. This is the Theta(n) baseline
+/// ("gather everything and solve locally") and the ground truth oracle for
+/// all decidability tests.
+std::optional<Word> solve_by_dp(const PairwiseProblem& problem, const Word& inputs);
+
+/// Like solve_by_dp but with some positions pre-assigned (fixed[i] set).
+/// Returns the lexicographically smallest completion consistent with the
+/// pairwise constraints at *all* nodes, or nullopt.
+std::optional<Word> complete_by_dp(const PairwiseProblem& problem, const Word& inputs,
+                                   const std::vector<std::optional<Label>>& fixed);
+
+}  // namespace lclpath

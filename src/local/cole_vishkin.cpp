@@ -1,0 +1,110 @@
+#include "local/cole_vishkin.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace lclpath {
+
+std::size_t cv_steps_for_ids() {
+  // 64-bit IDs: value space 2^64 -> 128 -> 14 -> 8 -> 6; four halvings
+  // reach the 6-color fixed point.
+  return 4;
+}
+
+std::size_t cv_radius() { return cv_steps_for_ids() + 3; }
+
+std::uint64_t cv_step(std::uint64_t mine, std::uint64_t next) {
+  if (mine == next) {
+    throw std::logic_error("cv_step: adjacent colors equal (invariant broken)");
+  }
+  const std::uint64_t diff = mine ^ next;
+  const std::uint64_t i = static_cast<std::uint64_t>(std::countr_zero(diff));
+  return 2 * i + ((mine >> i) & 1u);
+}
+
+namespace {
+
+/// Runs the full Cole-Vishkin pipeline over a window of IDs.
+/// Returns colors in {0,1,2} for window positions in
+/// [cv_radius(), len - 1 - cv_radius()] (clipped ends of a path are exact
+/// boundaries and do not consume margin on that side).
+/// `right_end` / `left_end`: the window is clipped by a real path end.
+std::vector<std::uint64_t> cv_colors_window(const std::vector<NodeId>& ids, bool left_end,
+                                            bool right_end) {
+  const std::size_t len = ids.size();
+  std::vector<std::uint64_t> color(ids.begin(), ids.end());
+  // Halving steps: each consumes one node of lookahead on the right,
+  // unless the right boundary is a real path end (the last node anchors
+  // with color' = bit0(color)).
+  std::size_t right_margin = 0;
+  for (std::size_t step = 0; step < cv_steps_for_ids(); ++step) {
+    std::vector<std::uint64_t> next = color;
+    const std::size_t last_valid = len - 1 - right_margin;
+    for (std::size_t i = 0; i < last_valid; ++i) next[i] = cv_step(color[i], color[i + 1]);
+    if (right_end) {
+      next[last_valid] = color[last_valid] & 1u;
+    } else if (right_margin + 1 < len) {
+      ++right_margin;
+    }
+    color = std::move(next);
+  }
+  // Colors now in {0..5}; three shrink rounds remove 5, 4, 3. Each round
+  // consumes one node of margin on non-end sides.
+  std::size_t left_margin = 0;
+  for (std::uint64_t kill = 5; kill >= 3; --kill) {
+    std::vector<std::uint64_t> next = color;
+    const std::size_t lo = left_end ? 0 : left_margin + 1;
+    const std::size_t hi = right_end ? len - 1 : len - 2 - right_margin;
+    for (std::size_t i = lo; i <= hi && i < len; ++i) {
+      if (color[i] != kill) continue;
+      const std::uint64_t left = i > 0 ? color[i - 1] : 6;
+      const std::uint64_t right = i + 1 < len ? color[i + 1] : 6;
+      for (std::uint64_t c = 0; c < 3; ++c) {
+        if (c != left && c != right) {
+          next[i] = c;
+          break;
+        }
+      }
+    }
+    if (!left_end) ++left_margin;
+    if (!right_end && right_margin + 1 < len) ++right_margin;
+    color = std::move(next);
+  }
+  return color;
+}
+
+}  // namespace
+
+std::size_t cv_three_color(const View& view) {
+  const auto colors =
+      cv_colors_window(view.ids, view.sees_left_end, view.sees_right_end);
+  const std::uint64_t c = colors[view.center];
+  if (c > 2) throw std::logic_error("cv_three_color: center color not reduced");
+  return static_cast<std::size_t>(c);
+}
+
+std::size_t cv_spaced_mis_radius(std::size_t k) { return cv_radius() + 3 * k + 3; }
+
+bool cv_spaced_mis(const View& view, std::size_t k) {
+  // Greedy by color class over the distance-k conflict graph. Correct for
+  // k = 1 (colors make same-class nodes non-conflicting); used by the
+  // level-0 ruling set. For k > 1 use the ruling set in decomposition.hpp.
+  if (k != 1) {
+    throw std::invalid_argument("cv_spaced_mis: only k = 1 is supported; use ruling sets");
+  }
+  const auto colors =
+      cv_colors_window(view.ids, view.sees_left_end, view.sees_right_end);
+  const std::size_t len = colors.size();
+  std::vector<char> in_set(len, 0);
+  for (std::uint64_t phase = 0; phase < 3; ++phase) {
+    for (std::size_t i = 0; i < len; ++i) {
+      if (colors[i] != phase || in_set[i]) continue;
+      const bool left_blocked = i > 0 && in_set[i - 1];
+      const bool right_blocked = i + 1 < len && in_set[i + 1];
+      if (!left_blocked && !right_blocked) in_set[i] = 1;
+    }
+  }
+  return in_set[view.center] != 0;
+}
+
+}  // namespace lclpath

@@ -1,0 +1,44 @@
+// Cole-Vishkin color reduction and derived symmetry breaking
+// on directed cycles and paths [8, 16, 20 in the paper's references].
+//
+// These are the O(log* n) building blocks behind Lemma 16 (the
+// decomposition used by the synthesized Theta(log* n) algorithm) and the
+// lower-bound benchmarks. Everything is phrased in view form: the
+// functions compute, from a node's radius-T window, exactly what the
+// message-passing algorithm would know after T rounds.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "local/simulator.hpp"
+
+namespace lclpath {
+
+/// Number of Cole-Vishkin halving steps needed to bring 64-bit IDs down to
+/// the 6-color fixed point.
+std::size_t cv_steps_for_ids();
+
+/// View radius required by three_coloring (CV steps + 3 shrink rounds).
+std::size_t cv_radius();
+
+/// One Cole-Vishkin step: the new color of a node with color `mine` whose
+/// successor has color `next` (colors must differ).
+std::uint64_t cv_step(std::uint64_t mine, std::uint64_t next);
+
+/// Computes the 3-coloring color of the view's center node on a directed
+/// cycle or path. Total radius used: cv_radius(). On paths the last node
+/// (no successor) anchors the recursion with color 0 or 1.
+/// The result is in {0, 1, 2} and adjacent nodes get distinct colors.
+std::size_t cv_three_color(const View& view);
+
+/// Distance-k independent-set flag for the center node, derived from the
+/// 3-coloring: greedy by color class, a node joins if no already-joined
+/// node lies within distance k. Maximality: every node has a joined node
+/// within distance k. Radius: cv_radius() + 3k.
+bool cv_spaced_mis(const View& view, std::size_t k);
+
+/// Radius needed by cv_spaced_mis.
+std::size_t cv_spaced_mis_radius(std::size_t k);
+
+}  // namespace lclpath

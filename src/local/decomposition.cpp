@@ -1,0 +1,174 @@
+#include "local/decomposition.hpp"
+
+#include <stdexcept>
+
+#include "local/cole_vishkin.hpp"
+
+namespace lclpath {
+
+namespace {
+
+/// Level-0 member flags: 3-coloring + greedy MIS; gaps in [2, 3].
+/// Flags are trusted within [10, len - 11].
+std::vector<char> level0_members(const std::vector<NodeId>& ids) {
+  std::vector<char> member(ids.size(), 0);
+  std::vector<std::uint64_t> color(ids.begin(), ids.end());
+  std::size_t rm = 0;
+  for (std::size_t step = 0; step < cv_steps_for_ids(); ++step) {
+    std::vector<std::uint64_t> next = color;
+    for (std::size_t i = 0; i + 1 + rm < color.size(); ++i) {
+      next[i] = cv_step(color[i], color[i + 1]);
+    }
+    if (rm + 1 < color.size()) ++rm;
+    color = std::move(next);
+  }
+  std::size_t lm = 0;
+  for (std::uint64_t kill = 5; kill >= 3; --kill) {
+    std::vector<std::uint64_t> next = color;
+    for (std::size_t i = lm + 1; i + 2 + rm < color.size() + 1; ++i) {
+      if (color[i] != kill) continue;
+      const std::uint64_t left = color[i - 1];
+      const std::uint64_t right = i + 1 < color.size() ? color[i + 1] : 6;
+      for (std::uint64_t c = 0; c < 3; ++c) {
+        if (c != left && c != right) {
+          next[i] = c;
+          break;
+        }
+      }
+    }
+    ++lm;
+    if (rm + 1 < color.size()) ++rm;
+    color = std::move(next);
+  }
+  for (std::uint64_t phase = 0; phase < 3; ++phase) {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (color[i] != phase || member[i]) continue;
+      const bool lb = i > 0 && member[i - 1];
+      const bool rb = i + 1 < ids.size() && member[i + 1];
+      if (!lb && !rb) member[i] = 1;
+    }
+  }
+  return member;
+}
+
+/// One doubling level: MIS on the member subsequence, then repair so the
+/// gaps lie in [new_min, 2 * new_min].
+std::vector<char> double_level(const std::vector<NodeId>& ids,
+                               const std::vector<char>& member, std::size_t new_min) {
+  const std::size_t len = ids.size();
+  // Collect member positions.
+  std::vector<std::size_t> pos;
+  for (std::size_t i = 0; i < len; ++i) {
+    if (member[i]) pos.push_back(i);
+  }
+  if (pos.size() < 2) return member;  // window too small; margins cover this
+
+  // Cole-Vishkin on the subsequence (IDs of members).
+  std::vector<std::uint64_t> color;
+  color.reserve(pos.size());
+  for (std::size_t p : pos) color.push_back(ids[p]);
+  std::size_t rm = 0;
+  for (std::size_t step = 0; step < cv_steps_for_ids(); ++step) {
+    std::vector<std::uint64_t> next = color;
+    for (std::size_t i = 0; i + 1 + rm < color.size(); ++i) {
+      next[i] = cv_step(color[i], color[i + 1]);
+    }
+    if (rm + 1 < color.size()) ++rm;
+    color = std::move(next);
+  }
+  std::size_t lm = 0;
+  for (std::uint64_t kill = 5; kill >= 3; --kill) {
+    std::vector<std::uint64_t> next = color;
+    for (std::size_t i = lm + 1; i + 2 + rm < color.size() + 1; ++i) {
+      if (color[i] != kill) continue;
+      const std::uint64_t left = color[i - 1];
+      const std::uint64_t right = i + 1 < color.size() ? color[i + 1] : 6;
+      for (std::uint64_t c = 0; c < 3; ++c) {
+        if (c != left && c != right) {
+          next[i] = c;
+          break;
+        }
+      }
+    }
+    ++lm;
+    if (rm + 1 < color.size()) ++rm;
+    color = std::move(next);
+  }
+  // Greedy MIS over the subsequence.
+  std::vector<char> sub_member(pos.size(), 0);
+  for (std::uint64_t phase = 0; phase < 3; ++phase) {
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+      if (color[i] != phase || sub_member[i]) continue;
+      const bool lb = i > 0 && sub_member[i - 1];
+      const bool rb = i + 1 < pos.size() && sub_member[i + 1];
+      if (!lb && !rb) sub_member[i] = 1;
+    }
+  }
+  // Keep selected members; repair long gaps by inserting synthetic members
+  // at multiples of new_min after the left anchor.
+  std::vector<char> out(len, 0);
+  std::vector<std::size_t> kept;
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    if (sub_member[i]) {
+      out[pos[i]] = 1;
+      kept.push_back(pos[i]);
+    }
+  }
+  for (std::size_t i = 0; i + 1 < kept.size(); ++i) {
+    const std::size_t u = kept[i];
+    const std::size_t v = kept[i + 1];
+    for (std::size_t p = u + new_min; p + new_min <= v; p += new_min) out[p] = 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t ruling_levels(std::size_t min_gap) {
+  std::size_t levels = 0;
+  std::size_t m = 2;
+  while (m < min_gap) {
+    m *= 2;
+    ++levels;
+  }
+  return levels;
+}
+
+std::size_t ruling_min_gap(std::size_t min_gap) {
+  return std::size_t{2} << ruling_levels(min_gap);
+}
+
+std::size_t ruling_radius(std::size_t min_gap) {
+  // Level 0 consumes 11 window positions per side; level j operates on a
+  // subsequence with gaps <= 2 m_{j-1}: 10 sub-steps of Cole-Vishkin/MIS
+  // plus the repair's anchor lookback (<= 2 m_j) — bounded by 14 m_j
+  // window positions per side, with m_j = 2^{j+1}.
+  std::size_t radius = 11;
+  std::size_t m = 2;
+  for (std::size_t level = 0; level < ruling_levels(min_gap); ++level) {
+    m *= 2;
+    radius += 14 * m;
+  }
+  return radius + 4;
+}
+
+std::vector<char> ruling_members_window(const std::vector<NodeId>& ids,
+                                        std::size_t min_gap) {
+  std::vector<char> member = level0_members(ids);
+  std::size_t m = 2;
+  for (std::size_t level = 0; level < ruling_levels(min_gap); ++level) {
+    m *= 2;
+    member = double_level(ids, member, m);
+  }
+  return member;
+}
+
+bool ruling_member(const View& view, std::size_t min_gap) {
+  if (!is_cycle(view.topology)) {
+    throw std::invalid_argument("ruling_member: directed cycles only");
+  }
+  const std::vector<char> member = ruling_members_window(view.ids, min_gap);
+  return member[view.center] != 0;
+}
+
+}  // namespace lclpath

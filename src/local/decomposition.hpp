@@ -1,0 +1,49 @@
+// Ruling sets and the Lemma 16 decomposition on directed cycles.
+//
+// The synthesized Theta(log* n) algorithm (Lemma 17) needs separator
+// blocks of 2r nodes whose gaps are Theta(ell_pump) with both bounds
+// controlled. We build a *ruling set* with consecutive-member distances in
+// [m, 2m] for a power-of-two m:
+//
+//   level 0: Cole-Vishkin 3-coloring + greedy MIS -> gaps in [2, 3];
+//   level j: MIS on the subcycle of level-(j-1) members (Cole-Vishkin on
+//            the member subsequence: 64-bit IDs need only 4 halvings),
+//            doubling the minimum gap, followed by a local *repair* pass
+//            that splits any gap longer than 2m_j by inserting synthetic
+//            members at multiples of m_j from the left anchor — keeping
+//            the maximum gap below 2x the minimum at every level.
+//
+// Everything is computed inside a node's window, so locality holds by
+// construction; validity margins are tracked conservatively and
+// ruling_radius() reports the window radius that guarantees the center's
+// membership is stable (window-agreement property-tested).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "local/simulator.hpp"
+
+namespace lclpath {
+
+/// Number of doubling levels needed for a minimum gap >= min_gap.
+std::size_t ruling_levels(std::size_t min_gap);
+
+/// Final guaranteed gap bounds [m, 2m] with m = 2^levels.
+std::size_t ruling_min_gap(std::size_t min_gap);
+
+/// Window radius required to decide center membership.
+std::size_t ruling_radius(std::size_t min_gap);
+
+/// Membership of the view's center node in the ruling set with gap bounds
+/// [ruling_min_gap(min_gap), 2 * ruling_min_gap(min_gap)].
+/// Directed cycles only (the synthesized algorithms' substrate).
+bool ruling_member(const View& view, std::size_t min_gap);
+
+/// Whole-window membership flags (window-relative), trusted only within
+/// [margin, len - 1 - margin] where margin = ruling_radius(min_gap) is the
+/// caller's responsibility; exposed for the decomposition and tests.
+std::vector<char> ruling_members_window(const std::vector<NodeId>& ids,
+                                        std::size_t min_gap);
+
+}  // namespace lclpath

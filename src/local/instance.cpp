@@ -1,0 +1,67 @@
+#include "local/instance.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace lclpath {
+
+std::size_t Instance::succ(std::size_t v) const {
+  assert(v < size());
+  if (v + 1 < size()) return v + 1;
+  assert(cycle());
+  return 0;
+}
+
+std::size_t Instance::pred(std::size_t v) const {
+  assert(v < size());
+  if (v > 0) return v - 1;
+  assert(cycle());
+  return size() - 1;
+}
+
+void Instance::validate() const {
+  if (inputs.empty()) throw std::invalid_argument("Instance: empty");
+  if (inputs.size() != ids.size()) {
+    throw std::invalid_argument("Instance: inputs/ids size mismatch");
+  }
+  std::unordered_set<NodeId> seen;
+  for (NodeId id : ids) {
+    if (!seen.insert(id).second) {
+      throw std::invalid_argument("Instance: duplicate node ID " + std::to_string(id));
+    }
+  }
+}
+
+Instance make_instance(Topology topology, Word inputs) {
+  Instance instance;
+  instance.topology = topology;
+  instance.inputs = std::move(inputs);
+  instance.ids.resize(instance.inputs.size());
+  for (std::size_t v = 0; v < instance.ids.size(); ++v) instance.ids[v] = v;
+  return instance;
+}
+
+Instance random_instance(Topology topology, std::size_t n, std::size_t num_inputs,
+                         Rng& rng) {
+  Instance instance;
+  instance.topology = topology;
+  instance.inputs.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    instance.inputs.push_back(static_cast<Label>(rng.next_below(num_inputs)));
+  }
+  for (std::size_t id : rng.permutation(n)) instance.ids.push_back(id);
+  return instance;
+}
+
+Instance periodic_instance(Topology topology, std::size_t n, const Word& pattern, Rng& rng) {
+  if (pattern.empty()) throw std::invalid_argument("periodic_instance: empty pattern");
+  Instance instance;
+  instance.topology = topology;
+  instance.inputs.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) instance.inputs.push_back(pattern[v % pattern.size()]);
+  for (std::size_t id : rng.permutation(n)) instance.ids.push_back(id);
+  return instance;
+}
+
+}  // namespace lclpath

@@ -1,0 +1,49 @@
+// Concrete path/cycle instances for the LOCAL model simulator.
+//
+// An instance is a topology, a word of input labels, and a vector of
+// globally unique identifiers (the paper's O(log n)-bit IDs). Generators
+// produce the workloads used by the tests and benchmarks: uniform random
+// inputs, periodic inputs, adversarial ID assignments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/alphabet.hpp"
+#include "core/rng.hpp"
+#include "lcl/problem.hpp"
+
+namespace lclpath {
+
+using NodeId = std::uint64_t;
+
+struct Instance {
+  Topology topology = Topology::kDirectedCycle;
+  Word inputs;
+  std::vector<NodeId> ids;
+
+  std::size_t size() const { return inputs.size(); }
+  bool cycle() const { return is_cycle(topology); }
+
+  /// Successor/predecessor index with wraparound on cycles; on paths the
+  /// caller must respect the ends (checked in debug builds).
+  std::size_t succ(std::size_t v) const;
+  std::size_t pred(std::size_t v) const;
+
+  /// Throws std::invalid_argument when sizes mismatch, IDs collide, or the
+  /// instance is empty.
+  void validate() const;
+};
+
+/// Instance with sequential IDs 0..n-1 and the given inputs.
+Instance make_instance(Topology topology, Word inputs);
+
+/// Uniform random inputs over an alphabet of the given size; IDs are a
+/// random permutation of 0..n-1 (so adversarial-ish but compact).
+Instance random_instance(Topology topology, std::size_t n, std::size_t num_inputs, Rng& rng);
+
+/// Inputs = pattern repeated to length n (truncated); random IDs.
+Instance periodic_instance(Topology topology, std::size_t n, const Word& pattern, Rng& rng);
+
+}  // namespace lclpath

@@ -1,0 +1,103 @@
+#include "local/orientation.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+namespace lclpath {
+
+namespace {
+/// Internal scale: peaks are radius-L ID maxima with L = 2*ell + 2, so
+/// that nearest-peak watersheds between two peaks (distance >= L+1) are
+/// at least (L+1)/2 > ell from both.
+std::size_t internal_scale(std::size_t ell) { return 2 * ell + 2; }
+}  // namespace
+
+std::size_t orientation_radius(std::size_t ell) {
+  // A node must evaluate is-peak for every node within distance L, which
+  // needs IDs within 2L; plus the ball-max fallback (L).
+  return 2 * internal_scale(ell) + 1;
+}
+
+// Construction (validated by the adversarial property tests):
+//  * peak: maximum ID within radius L;
+//  * a node within distance L of a peak orients toward its *nearest* peak
+//    (ties between equidistant peaks broken toward the larger ID); peaks
+//    themselves orient toward their larger neighbor;
+//  * other nodes orient toward the maximum-ID node of their radius-L ball.
+// Direction flips then happen only at peak watersheds (>= (L+1)/2 > ell
+// from each peak) or at ball-max divergences whose dominating endpoint
+// forces >= L uniformly oriented nodes on each side.
+Direction orient(const View& view, std::size_t ell) {
+  if (!is_cycle(view.topology)) {
+    throw std::invalid_argument("orient: cycles only");
+  }
+  const std::size_t len = view.size();
+  const std::size_t scale = internal_scale(ell);
+
+  if (len == view.n && view.n <= 2 * orientation_radius(ell) + 1) {
+    // Whole cycle visible: canonical global orientation.
+    std::size_t max_pos = 0;
+    for (std::size_t i = 1; i < len; ++i) {
+      if (view.ids[i] > view.ids[max_pos]) max_pos = i;
+    }
+    const NodeId succ = view.ids[(max_pos + 1) % len];
+    const NodeId pred = view.ids[(max_pos + len - 1) % len];
+    return succ > pred ? Direction::kForward : Direction::kBackward;
+  }
+
+  const std::size_t c = view.center;
+  if (c < 2 * scale || c + 2 * scale >= len) {
+    throw std::invalid_argument("orient: window too small for the requested ell");
+  }
+  auto is_peak = [&](std::size_t pos) {
+    for (std::size_t i = pos - scale; i <= pos + scale; ++i) {
+      if (i != pos && view.ids[i] >= view.ids[pos]) return false;
+    }
+    return true;
+  };
+  // Nearest peak within distance `scale` (larger ID wins ties).
+  std::optional<std::ptrdiff_t> toward_peak;
+  for (std::size_t d = 0; d <= scale && !toward_peak; ++d) {
+    NodeId best_id = 0;
+    std::ptrdiff_t best_dir = 0;
+    bool found = false;
+    if (is_peak(c + d) && (!found || view.ids[c + d] > best_id)) {
+      best_id = view.ids[c + d];
+      best_dir = static_cast<std::ptrdiff_t>(d);
+      found = true;
+    }
+    if (d > 0 && is_peak(c - d) && (!found || view.ids[c - d] > best_id)) {
+      best_id = view.ids[c - d];
+      best_dir = -static_cast<std::ptrdiff_t>(d);
+      found = true;
+    }
+    if (found) toward_peak = best_dir;
+  }
+  if (toward_peak) {
+    if (*toward_peak == 0) {
+      // A peak orients toward its larger neighbor (pure convergence point).
+      return view.ids[c + 1] > view.ids[c - 1] ? Direction::kForward
+                                               : Direction::kBackward;
+    }
+    return *toward_peak > 0 ? Direction::kForward : Direction::kBackward;
+  }
+  // Peakless zone: toward the ball maximum.
+  std::size_t best = c - scale;
+  for (std::size_t i = c - scale; i <= c + scale; ++i) {
+    if (view.ids[i] > view.ids[best]) best = i;
+  }
+  return best > c ? Direction::kForward : Direction::kBackward;
+}
+
+std::vector<Direction> orient_all(const Instance& instance, std::size_t ell) {
+  std::vector<Direction> out;
+  out.reserve(instance.size());
+  const std::size_t radius = orientation_radius(ell);
+  for (std::size_t v = 0; v < instance.size(); ++v) {
+    out.push_back(orient(extract_view(instance, v, radius), ell));
+  }
+  return out;
+}
+
+}  // namespace lclpath

@@ -1,0 +1,39 @@
+// ell-orientation of a cycle in O(ell) rounds (Lemma 19, cited by the
+// paper from [6] = Chang & Pettie 2017).
+//
+// Construction (ours; the paper does not spell one out). With the
+// internal scale L = 2*ell + 2:
+//   * a node is a *peak* if its ID is the maximum in its radius-L ball;
+//   * a node within distance L of a peak orients toward its nearest peak
+//     (equidistant ties toward the larger peak ID); peaks orient toward
+//     their larger neighbor (pure convergence points);
+//   * other nodes orient toward the maximum-ID node of their radius-L ball.
+//
+// Invariant (argued in orientation.cpp, property-tested on adversarial
+// monotone/zigzag/random ID patterns): every maximal uniformly-oriented
+// run has at least ell nodes — peak watersheds sit >= (L+1)/2 > ell from
+// both peaks, and ball-max divergences force >= L dominated, uniformly
+// oriented nodes on each side. If the whole cycle is visible, a canonical
+// global orientation is chosen instead.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "local/simulator.hpp"
+
+namespace lclpath {
+
+enum class Direction : std::uint8_t { kForward, kBackward };
+
+/// Window radius used by orient().
+std::size_t orientation_radius(std::size_t ell);
+
+/// Direction of the view's center node for an ell-orientation.
+/// kForward = toward the successor in the global path order.
+Direction orient(const View& view, std::size_t ell);
+
+/// Convenience: orientation of every node of an instance (via views).
+std::vector<Direction> orient_all(const Instance& instance, std::size_t ell);
+
+}  // namespace lclpath

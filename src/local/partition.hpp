@@ -1,0 +1,69 @@
+// The (l_width, l_count, l_pattern)-partition machinery of Section 4.3
+// (Lemmas 20, 21, 22).
+//
+// partition() decomposes a labeled cycle (or path) into
+//   * long components: maximal stretches whose inputs repeat a primitive
+//     pattern w with |w| <= l_pattern at least l_count times (after
+//     trimming l_width * |w| - 1 nodes from open ends), every member
+//     knowing w and its phase; and
+//   * short components: the remaining "irregular" stretches, chopped into
+//     pieces of bounded size using the Lemma 20 independent set, every
+//     member knowing its rank within its piece.
+//
+// Lemma 20's O(1)-round independent set exploits input irregularity: in a
+// region with no period-<= gamma run of length >= l, length-l input
+// windows are distinct within distance gamma, so window-lexicographic
+// local maxima break symmetry without IDs.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "local/instance.hpp"
+
+namespace lclpath {
+
+struct PartitionParams {
+  std::size_t l_width = 4;
+  std::size_t l_count = 4;
+  std::size_t l_pattern = 4;  ///< must be >= l_width
+};
+
+struct PartitionComponent {
+  bool long_component = false;
+  std::size_t begin = 0;  ///< first node (cycle positions mod n)
+  std::size_t size = 0;
+  /// Long components: the primitive pattern and each node's phase offset
+  /// (node begin+i has phase (phase0 + i) mod |pattern|).
+  Word pattern;
+  std::size_t phase0 = 0;
+};
+
+struct Partition {
+  std::vector<PartitionComponent> components;
+  /// component index per node.
+  std::vector<std::size_t> component_of;
+  /// True when the entire cycle is a single periodic long component.
+  bool whole_cycle_periodic = false;
+};
+
+/// Lemma 20: a (gamma, 2gamma(+slack))-independent set of a directed path
+/// segment with no period-<=gamma run of length >= l. Returns member
+/// flags. Deterministic, O(1)-round local (window-lexicographic maxima).
+std::vector<char> irregular_independent_set(const Word& inputs, std::size_t gamma,
+                                            std::size_t l);
+
+/// Lemmas 21-22: computes the partition of an instance. Works on directed
+/// cycles/paths; undirected inputs are first ordered by the instance's
+/// global order (Lemma 19's l-orientation is exercised separately in
+/// local/orientation.hpp and its tests).
+Partition partition(const Instance& instance, const PartitionParams& params);
+
+/// Validates the partition invariants (component sizes, pattern
+/// periodicity, coverage); returns an explanation on failure.
+std::optional<std::string> check_partition(const Instance& instance,
+                                           const PartitionParams& params,
+                                           const Partition& partition);
+
+}  // namespace lclpath

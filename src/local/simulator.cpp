@@ -1,0 +1,97 @@
+#include "local/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lclpath {
+
+View extract_view(const Instance& instance, std::size_t v, std::size_t radius) {
+  const std::size_t n = instance.size();
+  View view;
+  view.n = n;
+  view.topology = instance.topology;
+  if (instance.cycle()) {
+    if (2 * radius + 1 >= n) {
+      // The node sees the entire cycle; present it as the rotation
+      // starting at v (center 0). The algorithm can tell because
+      // size() == n.
+      view.center = 0;
+      view.inputs.reserve(n);
+      view.ids.reserve(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t idx = (v + k) % n;
+        view.inputs.push_back(instance.inputs[idx]);
+        view.ids.push_back(instance.ids[idx]);
+      }
+      return view;
+    }
+    view.center = radius;
+    view.inputs.reserve(2 * radius + 1);
+    view.ids.reserve(2 * radius + 1);
+    for (std::size_t k = 0; k < 2 * radius + 1; ++k) {
+      const std::size_t idx = (v + n + k - radius) % n;
+      view.inputs.push_back(instance.inputs[idx]);
+      view.ids.push_back(instance.ids[idx]);
+    }
+    return view;
+  }
+  const std::size_t lo = v >= radius ? v - radius : 0;
+  const std::size_t hi = std::min(n - 1, v + radius);
+  view.center = v - lo;
+  view.sees_left_end = v <= radius;
+  view.sees_right_end = v + radius >= n - 1;
+  for (std::size_t idx = lo; idx <= hi; ++idx) {
+    view.inputs.push_back(instance.inputs[idx]);
+    view.ids.push_back(instance.ids[idx]);
+  }
+  return view;
+}
+
+SimulationResult simulate(const LocalAlgorithm& algorithm, const PairwiseProblem& problem,
+                          const Instance& instance) {
+  instance.validate();
+  SimulationResult result;
+  const std::size_t n = instance.size();
+  result.radius = algorithm.radius(n);
+  result.outputs.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const View view = extract_view(instance, v, result.radius);
+    result.outputs.push_back(algorithm.run(view));
+  }
+  result.verdict = verify_pairwise(problem, instance.inputs, result.outputs);
+  return result;
+}
+
+Label GatherAllAlgorithm::run(const View& view) const {
+  if (is_cycle(view.topology)) {
+    if (view.size() != view.n) {
+      throw std::logic_error("gather-all: radius did not cover the whole cycle");
+    }
+    // All nodes must agree on one labeling although each sees a different
+    // rotation: canonicalize by rotating so the minimum ID comes first.
+    const std::size_t anchor = static_cast<std::size_t>(
+        std::min_element(view.ids.begin(), view.ids.end()) - view.ids.begin());
+    Word canonical(view.n);
+    for (std::size_t k = 0; k < view.n; ++k) {
+      canonical[k] = view.inputs[(anchor + k) % view.n];
+    }
+    auto solution = solve_by_dp(*problem_, canonical);
+    if (!solution) {
+      throw std::runtime_error("gather-all: instance has no valid labeling");
+    }
+    // The observing node sits at window position center (= 0); its index
+    // in the canonical rotation is (n - anchor) mod n.
+    const std::size_t my_pos = (view.n - anchor + view.center) % view.n;
+    return (*solution)[my_pos];
+  }
+  if (!view.sees_left_end || !view.sees_right_end) {
+    throw std::logic_error("gather-all: radius did not cover the whole path");
+  }
+  auto solution = solve_by_dp(*problem_, view.inputs);
+  if (!solution) {
+    throw std::runtime_error("gather-all: instance has no valid labeling");
+  }
+  return (*solution)[view.center];
+}
+
+}  // namespace lclpath

@@ -1,0 +1,88 @@
+// The LOCAL model simulator.
+//
+// The paper's Section 2 observation: an algorithm with running time T(n)
+// is equivalent to a function from radius-T(n) neighborhoods to outputs.
+// We simulate exactly that: each node receives its *view* — the inputs,
+// IDs and boundary shape of its radius-T window — and must return an
+// output label. The simulator enforces locality by construction: a node's
+// output can only depend on what is in its view.
+//
+// Locality validation beyond construction: tests also run the
+// view-agreement property (two instances whose windows around v coincide
+// must produce the same output at v), which guards against algorithms
+// smuggling global information through the `n` parameter.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lcl/verifier.hpp"
+#include "local/instance.hpp"
+
+namespace lclpath {
+
+/// What a node sees after T rounds: the window of the graph within
+/// distance T, clipped at path endpoints.
+struct View {
+  /// Inputs/IDs in path order within the window.
+  Word inputs;
+  std::vector<NodeId> ids;
+  /// Position of the observing node within the window.
+  std::size_t center = 0;
+  /// True if the window is clipped on that side by a path endpoint.
+  bool sees_left_end = false;
+  bool sees_right_end = false;
+  /// Number of nodes of the instance (known to all nodes in LOCAL).
+  std::size_t n = 0;
+  /// Whether the underlying topology is directed / a cycle.
+  Topology topology = Topology::kDirectedCycle;
+
+  std::size_t size() const { return inputs.size(); }
+};
+
+/// Extracts the radius-T view of node v. On cycles the window wraps; if
+/// 2T + 1 >= n the node sees the whole cycle (window size capped at n and
+/// the node knows it, because it knows n).
+View extract_view(const Instance& instance, std::size_t v, std::size_t radius);
+
+/// A deterministic LOCAL algorithm in view form.
+class LocalAlgorithm {
+ public:
+  virtual ~LocalAlgorithm() = default;
+
+  virtual std::string name() const = 0;
+  /// The running time on n-node instances (view radius).
+  virtual std::size_t radius(std::size_t n) const = 0;
+  /// The output of a node given its radius(n) view.
+  virtual Label run(const View& view) const = 0;
+};
+
+/// Result of simulating an algorithm over an instance.
+struct SimulationResult {
+  Word outputs;
+  std::size_t radius = 0;  ///< rounds used
+  VerifyResult verdict;    ///< verification against the problem
+};
+
+/// Runs the algorithm on every node and verifies the global output.
+SimulationResult simulate(const LocalAlgorithm& algorithm, const PairwiseProblem& problem,
+                          const Instance& instance);
+
+/// The Theta(n) baseline: gather everything, solve by DP, output your own
+/// label. This is the paper's "any solvable problem is O(n)" algorithm
+/// and the ground-truth oracle for the synthesized algorithms.
+class GatherAllAlgorithm final : public LocalAlgorithm {
+ public:
+  explicit GatherAllAlgorithm(const PairwiseProblem& problem) : problem_(&problem) {}
+  std::string name() const override { return "gather-all"; }
+  std::size_t radius(std::size_t n) const override { return n; }
+  Label run(const View& view) const override;
+
+ private:
+  const PairwiseProblem* problem_;
+};
+
+}  // namespace lclpath

@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include "hardness/encoder.hpp"
+#include "hardness/pi_problem.hpp"
+#include "hardness/solver.hpp"
+#include "hardness/tree_encoding.hpp"
+#include "hardness/undirected.hpp"
+#include "lba/machines.hpp"
+#include "test_util.hpp"
+
+namespace lclpath::hardness {
+namespace {
+
+TEST(Lba, MachineRuntimes) {
+  // immediate halt: 1 step regardless of B.
+  for (std::size_t b : {2u, 4u, 6u}) {
+    const auto run = lba::run(lba::immediate_halt(), b);
+    EXPECT_TRUE(run.halts);
+    EXPECT_EQ(run.steps, 1u);
+  }
+  // unary counter: Theta(B^2) steps, monotone in B.
+  std::size_t prev = 0;
+  for (std::size_t b : {3u, 4u, 5u, 6u}) {
+    const auto run = lba::run(lba::unary_counter(), b);
+    ASSERT_TRUE(run.halts) << "B=" << b;
+    EXPECT_GT(run.steps, prev);
+    prev = run.steps;
+  }
+  // binary counter: Theta(2^B) growth.
+  const auto r4 = lba::run(lba::binary_counter(), 4);
+  const auto r6 = lba::run(lba::binary_counter(), 6);
+  const auto r8 = lba::run(lba::binary_counter(), 8);
+  ASSERT_TRUE(r4.halts && r6.halts && r8.halts);
+  EXPECT_GT(r6.steps, 2 * r4.steps);
+  EXPECT_GT(r8.steps, 2 * r6.steps);
+  // looper: detected as looping.
+  const auto loop = lba::run(lba::looper(), 4);
+  EXPECT_FALSE(loop.halts);
+  ASSERT_TRUE(loop.loop_start.has_value());
+  EXPECT_EQ(loop.trace.back(), loop.trace[*loop.loop_start]);
+}
+
+TEST(Lba, ConfigurationStepSemantics) {
+  const auto machine = lba::binary_counter();
+  auto config = lba::initial_configuration(machine, 4);
+  EXPECT_EQ(config.tape.front(), lba::Symbol::kL);
+  EXPECT_EQ(config.tape.back(), lba::Symbol::kR);
+  EXPECT_EQ(config.head, 0u);
+  const auto next = lba::step(machine, config);
+  EXPECT_EQ(next.head, 1u);  // q0 moves right over L
+}
+
+TEST(PiLabels, CodecRoundTrip) {
+  const auto machine = lba::unary_counter();
+  const PiLabels labels(machine, 3);
+  for (Label l = 0; l < labels.num_inputs(); ++l) {
+    EXPECT_EQ(labels.encode(labels.decode_input(l)), l);
+  }
+  for (Label l = 0; l < labels.num_outputs(); ++l) {
+    EXPECT_EQ(labels.encode(labels.decode_output(l)), l);
+  }
+  // Alphabets align with the codec.
+  const Alphabet in = labels.input_alphabet();
+  EXPECT_EQ(in.size(), labels.num_inputs());
+  EXPECT_EQ(in.name(labels.encode(InLabel{InKind::kSeparator, {}, 0, false})), "Sep");
+}
+
+TEST(PiProblem, GoodInputAcceptsAllSecretLabeling) {
+  for (std::size_t b : {2u, 3u}) {
+    const auto machine = lba::unary_counter();
+    const auto run = lba::run(machine, b);
+    ASSERT_TRUE(run.halts);
+    const PiProblem problem(machine, b);
+    const std::size_t n = encoding_length(b, run.steps) + 5;
+    for (Secret secret : {Secret::kA, Secret::kB}) {
+      const auto input = good_input(machine, b, secret, run.steps, n);
+      std::vector<OutLabel> output(n);
+      for (std::size_t v = 0; v < n; ++v) {
+        if (input[v].kind == InKind::kEmpty) {
+          output[v].kind = OutKind::kEmpty;
+        } else {
+          output[v].kind = secret == Secret::kA ? OutKind::kStartA : OutKind::kStartB;
+        }
+      }
+      const auto verdict = problem.verify(input, output);
+      EXPECT_TRUE(verdict.ok) << "B=" << b << ": " << verdict.reason;
+    }
+  }
+}
+
+// Section 3.4 in executable form: on a good input, *no* valid labeling
+// lets a non-Empty node avoid the secret. Checked exhaustively via DP
+// over the full-edge verifier.
+TEST(PiProblem, LowerBoundNoEscapeOnGoodInputs) {
+  const auto machine = lba::immediate_halt();
+  const std::size_t b = 2;
+  const auto run = lba::run(machine, b);
+  const PiProblem problem(machine, b);
+  const PiLabels& labels = problem.labels();
+  const std::size_t n = encoding_length(b, run.steps) + 2;
+  const auto input = good_input(machine, b, Secret::kA, run.steps, n);
+
+  // DP over (position, output label) with reachability: can any node with
+  // non-Empty input output something other than Start(a)?
+  const std::size_t num_out = labels.num_outputs();
+  std::vector<std::vector<char>> reach(n, std::vector<char>(num_out, 0));
+  for (Label o = 0; o < num_out; ++o) {
+    if (problem.node_ok(0, input[0], labels.decode_output(o), nullptr, nullptr)) {
+      reach[0][o] = 1;
+    }
+  }
+  for (std::size_t v = 1; v < n; ++v) {
+    for (Label o = 0; o < num_out; ++o) {
+      const OutLabel out = labels.decode_output(o);
+      for (Label p = 0; p < num_out && !reach[v][o]; ++p) {
+        if (!reach[v - 1][p]) continue;
+        const OutLabel out_pred = labels.decode_output(p);
+        if (problem.node_ok(v, input[v], out, &input[v - 1], &out_pred)) {
+          reach[v][o] = 1;
+        }
+      }
+    }
+  }
+  // Backward prune: only labels that extend to the end survive; the last
+  // node additionally obeys the dangling-chain rule.
+  std::vector<std::vector<char>> feasible = reach;
+  for (Label o = 0; o < num_out; ++o) {
+    if (!problem.allowed_at_last(labels.decode_output(o))) feasible[n - 1][o] = 0;
+  }
+  for (std::size_t v = n - 1; v > 0; --v) {
+    for (Label p = 0; p < num_out; ++p) {
+      if (!feasible[v - 1][p]) continue;
+      bool extends = false;
+      const OutLabel out_pred = labels.decode_output(p);
+      for (Label o = 0; o < num_out && !extends; ++o) {
+        if (!feasible[v][o]) continue;
+        extends = problem.node_ok(v, input[v], labels.decode_output(o), &input[v - 1],
+                                  &out_pred);
+      }
+      if (!extends) feasible[v - 1][p] = 0;
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (input[v].kind == InKind::kEmpty) continue;
+    for (Label o = 0; o < num_out; ++o) {
+      if (!feasible[v][o]) continue;
+      EXPECT_EQ(labels.decode_output(o).kind, OutKind::kStartA)
+          << "node " << v << " could output " << labels.name(labels.decode_output(o));
+    }
+  }
+}
+
+class CorruptionCase : public ::testing::TestWithParam<Corruption> {};
+
+TEST_P(CorruptionCase, SolverEmitsVerifiableProof) {
+  const auto machine = lba::unary_counter();
+  for (std::size_t b : {2u, 3u}) {
+    const auto run = lba::run(machine, b);
+    ASSERT_TRUE(run.halts);
+    const PiProblem problem(machine, b);
+    const PiSolver solver(problem, run.steps);
+    const std::size_t n = encoding_length(b, run.steps) + 6;
+    for (std::size_t block : {1u, 2u}) {
+      auto input = good_input(machine, b, Secret::kA, run.steps, n);
+      try {
+        input = corrupt(machine, b, std::move(input), GetParam(), block);
+      } catch (const std::invalid_argument&) {
+        continue;  // corruption not applicable to this block/size
+      }
+      const auto output = solver.solve(input);
+      const auto verdict = problem.verify(input, output);
+      EXPECT_TRUE(verdict.ok) << "B=" << b << " block=" << block << ": "
+                              << verdict.reason;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCorruptions, CorruptionCase,
+    ::testing::Values(Corruption::kWrongInitialTape, Corruption::kTapeTooLong,
+                      Corruption::kTapeTooShort, Corruption::kWrongCopy,
+                      Corruption::kInconsistentState, Corruption::kWrongTransition,
+                      Corruption::kTwoHeads),
+    [](const ::testing::TestParamInfo<Corruption>& info) {
+      switch (info.param) {
+        case Corruption::kWrongInitialTape: return "WrongInitialTape";
+        case Corruption::kTapeTooLong: return "TapeTooLong";
+        case Corruption::kTapeTooShort: return "TapeTooShort";
+        case Corruption::kWrongCopy: return "WrongCopy";
+        case Corruption::kInconsistentState: return "InconsistentState";
+        case Corruption::kWrongTransition: return "WrongTransition";
+        case Corruption::kTwoHeads: return "TwoHeads";
+      }
+      return "Unknown";
+    });
+
+TEST(PiSolver, GoodInputsYieldSecrets) {
+  const auto machine = lba::unary_counter();
+  const std::size_t b = 3;
+  const auto run = lba::run(machine, b);
+  const PiProblem problem(machine, b);
+  const PiSolver solver(problem, run.steps);
+  EXPECT_EQ(solver.radius(), 2 + (b + 1) * (run.steps + 1));
+  const std::size_t n = encoding_length(b, run.steps) + 4;
+  for (Secret secret : {Secret::kA, Secret::kB}) {
+    const auto input = good_input(machine, b, secret, run.steps, n);
+    const auto output = solver.solve(input);
+    EXPECT_TRUE(problem.verify(input, output).ok);
+    const OutKind want = secret == Secret::kA ? OutKind::kStartA : OutKind::kStartB;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (input[v].kind != InKind::kEmpty) {
+        EXPECT_EQ(output[v].kind, want) << "node " << v;
+      }
+    }
+  }
+}
+
+TEST(PiSolver, LocalityOfOutputs) {
+  // The solver's decision at v only reads the radius-T' ball: changing the
+  // input beyond the ball leaves the output unchanged.
+  const auto machine = lba::immediate_halt();
+  const std::size_t b = 2;
+  const auto run = lba::run(machine, b);
+  const PiProblem problem(machine, b);
+  const PiSolver solver(problem, run.steps);
+  const std::size_t n = 40;
+  auto input = good_input(machine, b, Secret::kA, run.steps, n);
+  auto far_modified = input;
+  const std::size_t v = 3;
+  const std::size_t far = v + solver.radius() + 2;
+  ASSERT_LT(far, n);
+  far_modified[far].kind = InKind::kSeparator;
+  EXPECT_EQ(solver.output_of(input, v), solver.output_of(far_modified, v));
+}
+
+TEST(PiSolver, LoopingFallback) {
+  const auto machine = lba::looper();
+  const std::size_t b = 3;
+  const PiProblem problem(machine, b);
+  // A looping machine still admits the all-secret / all-Error labeling.
+  std::vector<InLabel> input(12, InLabel{InKind::kEmpty, lba::Symbol::k0, 0, false});
+  input[0].kind = InKind::kStartB;
+  input[1].kind = InKind::kSeparator;
+  const auto output = PiSolver::solve_looping(input);
+  EXPECT_TRUE(problem.verify(input, output).ok);
+  // Without a secret marker: all-Error.
+  input[0].kind = InKind::kEmpty;
+  const auto errors = PiSolver::solve_looping(input);
+  EXPECT_TRUE(problem.verify(input, errors).ok);
+  EXPECT_EQ(errors[5].kind, OutKind::kError);
+}
+
+TEST(TreeEncoding, BitsRoundTrip) {
+  Rng rng(7);
+  for (std::size_t nbits : {1u, 2u, 4u, 8u}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      std::vector<int> bits(nbits);
+      for (auto& bit : bits) bit = rng.next_bool() ? 1 : 0;
+      const EncodedTree enc = encode_bits(bits);
+      // Max degree 3 (the paper's Delta bound).
+      for (std::size_t v = 0; v < enc.tree.size(); ++v) {
+        EXPECT_LE(enc.tree.degree(v), 3u);
+      }
+      const auto decoded = decode_bits(enc.tree, enc.root);
+      ASSERT_TRUE(decoded.has_value()) << "nbits=" << nbits;
+      EXPECT_EQ(*decoded, bits);
+    }
+  }
+}
+
+TEST(TreeEncoding, GStarRecoversLabels) {
+  Rng rng(8);
+  for (std::size_t num_labels : {2u, 3u, 5u}) {
+    Word labels;
+    for (int v = 0; v < 20; ++v) {
+      labels.push_back(static_cast<Label>(rng.next_below(num_labels)));
+    }
+    const GStar gstar = build_gstar(labels, num_labels);
+    // Max degree: path interior (2) + tree (1) = 3... endpoints lower.
+    for (std::size_t v : gstar.path_nodes) {
+      EXPECT_LE(gstar.graph.degree(v), 3u);
+    }
+    const auto recovered = recover_labels(gstar, num_labels);
+    ASSERT_TRUE(recovered.has_value()) << "labels=" << num_labels;
+    EXPECT_EQ(*recovered, labels);
+  }
+}
+
+TEST(UndirectedLift, OrientedInstancesSolveAndEmbed) {
+  const PairwiseProblem directed = catalog::agreement();
+  const PairwiseProblem lifted = lift_to_undirected(directed);
+  EXPECT_TRUE(lifted.is_orientation_symmetric());
+  Rng rng(9);
+  // Consistently oriented instances correspond to original ones.
+  const std::size_t n = 9;  // multiple of 3 keeps the wrap consistent
+  Word base;
+  for (std::size_t v = 0; v < n; ++v) {
+    base.push_back(static_cast<Label>(rng.next_below(directed.num_inputs())));
+  }
+  const Word lifted_inputs = orient_inputs(directed, base);
+  const auto solved = solve_by_dp(lifted, lifted_inputs);
+  ASSERT_TRUE(solved.has_value());
+  EXPECT_TRUE(verify_pairwise(lifted, lifted_inputs, *solved).ok);
+}
+
+TEST(UndirectedLift, BrokenOrientationStillSolvable) {
+  const PairwiseProblem directed = catalog::agreement();
+  const PairwiseProblem lifted = lift_to_undirected(directed);
+  // n not divisible by 3 forces an orientation defect at the wrap.
+  for (std::size_t n : {4u, 5u, 7u, 8u}) {
+    Word inputs;
+    for (std::size_t v = 0; v < n; ++v) {
+      // input "0" of the original, counter v mod 3.
+      inputs.push_back(static_cast<Label>(2 * 3 + v % 3));
+    }
+    const auto solved = solve_by_dp(lifted, inputs);
+    EXPECT_TRUE(solved.has_value()) << "n=" << n;
+  }
+}
+
+TEST(CycleLift, SeparatorsCutIntoSegments) {
+  const PairwiseProblem path_problem = catalog::two_coloring(Topology::kDirectedPath);
+  const PairwiseProblem lifted = lift_path_to_cycle(path_problem);
+  // With a separator, odd cycles become solvable (the segment is a path).
+  Word inputs(7, 0);
+  const Word marked = mark_inputs(path_problem, inputs, {0});
+  const auto solved = solve_by_dp(lifted, marked);
+  ASSERT_TRUE(solved.has_value());
+  EXPECT_EQ((*solved)[0], lifted.outputs().at("S"));
+  // Without separators, only the all-X escape works for odd length.
+  const auto escape = solve_by_dp(lifted, inputs);
+  ASSERT_TRUE(escape.has_value());
+  for (Label l : *escape) EXPECT_EQ(l, lifted.outputs().at("X"));
+}
+
+}  // namespace
+}  // namespace lclpath::hardness

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "local/cole_vishkin.hpp"
+#include "local/decomposition.hpp"
+#include "local/orientation.hpp"
+#include "local/partition.hpp"
+#include "local/simulator.hpp"
+#include "test_util.hpp"
+
+namespace lclpath {
+namespace {
+
+TEST(Instance, ValidationAndNeighbors) {
+  Instance i = make_instance(Topology::kDirectedCycle, {0, 1, 0});
+  EXPECT_NO_THROW(i.validate());
+  EXPECT_EQ(i.succ(2), 0u);
+  EXPECT_EQ(i.pred(0), 2u);
+  i.ids[1] = i.ids[0];
+  EXPECT_THROW(i.validate(), std::invalid_argument);
+}
+
+TEST(Views, WindowShapesOnPathsAndCycles) {
+  Rng rng(1);
+  Instance cycle = random_instance(Topology::kDirectedCycle, 20, 2, rng);
+  const View v = extract_view(cycle, 3, 4);
+  EXPECT_EQ(v.size(), 9u);
+  EXPECT_EQ(v.center, 4u);
+  EXPECT_EQ(v.inputs[4], cycle.inputs[3]);
+  EXPECT_EQ(v.inputs[0], cycle.inputs[19]);  // wraps
+
+  const View full = extract_view(cycle, 5, 30);
+  EXPECT_EQ(full.size(), 20u);
+  EXPECT_EQ(full.center, 0u);
+  EXPECT_EQ(full.inputs[0], cycle.inputs[5]);
+
+  Instance path = random_instance(Topology::kDirectedPath, 20, 2, rng);
+  const View pv = extract_view(path, 2, 5);
+  EXPECT_TRUE(pv.sees_left_end);
+  EXPECT_FALSE(pv.sees_right_end);
+  EXPECT_EQ(pv.center, 2u);
+  EXPECT_EQ(pv.size(), 8u);
+}
+
+TEST(GatherAll, SolvesCatalogInstances) {
+  Rng rng(2);
+  for (const auto& entry : catalog::validation_catalog()) {
+    if (entry.expected == ComplexityClass::kUnsolvable) continue;
+    const PairwiseProblem& p = entry.problem;
+    if (!is_directed(p.topology())) continue;
+    GatherAllAlgorithm algorithm(p);
+    for (std::size_t n : {4u, 9u, 16u}) {
+      Instance instance = random_instance(p.topology(), n, p.num_inputs(), rng);
+      const auto result = simulate(algorithm, p, instance);
+      EXPECT_TRUE(result.verdict.ok)
+          << p.name() << " n=" << n << ": " << result.verdict.reason;
+    }
+  }
+}
+
+TEST(ColeVishkin, StepReducesAndKeepsProper) {
+  Rng rng(3);
+  const std::size_t n = 500;
+  std::vector<std::uint64_t> color(n);
+  std::vector<std::size_t> ids = rng.permutation(n);
+  for (std::size_t v = 0; v < n; ++v) color[v] = ids[v];
+  for (std::size_t step = 0; step < cv_steps_for_ids(); ++step) {
+    std::vector<std::uint64_t> next(n);
+    for (std::size_t v = 0; v < n; ++v) next[v] = cv_step(color[v], color[(v + 1) % n]);
+    color = next;
+    for (std::size_t v = 0; v < n; ++v) {
+      ASSERT_NE(color[v], color[(v + 1) % n]) << "step " << step;
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) EXPECT_LT(color[v], 6u);
+}
+
+TEST(ColeVishkin, ThreeColoringViaViews) {
+  Rng rng(4);
+  for (std::size_t n : {50u, 173u}) {
+    Instance instance = random_instance(Topology::kDirectedCycle, n, 2, rng);
+    std::vector<std::size_t> colors(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      colors[v] = cv_three_color(extract_view(instance, v, cv_radius()));
+      EXPECT_LT(colors[v], 3u);
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      EXPECT_NE(colors[v], colors[(v + 1) % n]) << "n=" << n << " v=" << v;
+    }
+  }
+}
+
+TEST(ColeVishkin, SpacedMisIsMaximalIndependent) {
+  Rng rng(5);
+  const std::size_t n = 300;
+  Instance instance = random_instance(Topology::kDirectedCycle, n, 2, rng);
+  std::vector<char> member(n);
+  const std::size_t radius = cv_spaced_mis_radius(1);
+  for (std::size_t v = 0; v < n; ++v) {
+    member[v] = cv_spaced_mis(extract_view(instance, v, radius), 1) ? 1 : 0;
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (member[v]) {
+      EXPECT_FALSE(member[(v + 1) % n]) << v;
+    }
+    EXPECT_TRUE(member[v] || member[(v + 1) % n] || member[(v + n - 1) % n]) << v;
+  }
+}
+
+TEST(RulingSet, GapsWithinBounds) {
+  Rng rng(6);
+  for (std::size_t min_gap : {8u, 20u, 40u}) {
+    const std::size_t m = ruling_min_gap(min_gap);
+    EXPECT_GE(m, min_gap);
+    const std::size_t radius = ruling_radius(min_gap);
+    const std::size_t n = 6 * radius + 7;
+    Instance instance = random_instance(Topology::kDirectedCycle, n, 2, rng);
+    std::vector<std::size_t> members;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (ruling_member(extract_view(instance, v, radius), min_gap)) members.push_back(v);
+    }
+    ASSERT_GE(members.size(), 2u) << "min_gap " << min_gap;
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      const std::size_t gap = k + 1 < members.size()
+                                  ? members[k + 1] - members[k]
+                                  : members[0] + n - members.back();
+      EXPECT_GE(gap, m) << "min_gap " << min_gap << " at member " << members[k];
+      EXPECT_LE(gap, 2 * m) << "min_gap " << min_gap << " at member " << members[k];
+    }
+  }
+}
+
+TEST(RulingSet, WindowAgreementLocality) {
+  Rng rng(7);
+  const std::size_t min_gap = 16;
+  const std::size_t radius = ruling_radius(min_gap);
+  const std::size_t n = 4 * radius + 11;
+  Instance a = random_instance(Topology::kDirectedCycle, n, 2, rng);
+  Instance b = a;
+  const std::size_t far = (2 * radius + 50) % n;
+  b.ids[far] = 999'999;
+  const bool ma = ruling_member(extract_view(a, 0, radius), min_gap);
+  const bool mb = ruling_member(extract_view(b, 0, radius), min_gap);
+  EXPECT_EQ(ma, mb);
+}
+
+TEST(Orientation, RunsAreLongOnAdversarialIds) {
+  const std::size_t ell = 5;
+  Rng rng(8);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 120 + rng.next_below(80);
+    Instance instance = random_instance(Topology::kDirectedCycle, n, 2, rng);
+    if (trial == 1) {  // monotone IDs: the classic hard case for peak rules
+      for (std::size_t v = 0; v < n; ++v) instance.ids[v] = v;
+    }
+    if (trial == 2) {  // zigzag
+      for (std::size_t v = 0; v < n; ++v) instance.ids[v] = (v % 2 == 0) ? v : n + v;
+    }
+    const auto directions = orient_all(instance, ell);
+    std::vector<std::size_t> run_lengths;
+    std::size_t start = 0;
+    while (start < n && directions[start] == directions[(start + n - 1) % n]) ++start;
+    if (start == n) {
+      run_lengths.push_back(n);
+    } else {
+      std::size_t count = 1;
+      for (std::size_t k = 1; k <= n; ++k) {
+        const std::size_t v = (start + k) % n;
+        if (k < n && directions[v] == directions[(start + k - 1) % n]) {
+          ++count;
+        } else {
+          run_lengths.push_back(count);
+          count = 1;
+        }
+        if (k == n) break;
+      }
+    }
+    for (std::size_t len : run_lengths) {
+      EXPECT_GE(len, ell) << "trial " << trial << " n=" << n;
+    }
+  }
+}
+
+TEST(Lemma20, IrregularIndependentSet) {
+  Rng rng(9);
+  const std::size_t gamma = 4;
+  const std::size_t l = 16;
+  Word inputs;
+  for (std::size_t v = 0; v < 400; ++v) {
+    inputs.push_back(static_cast<Label>(rng.next_below(3)));
+  }
+  const auto member = irregular_independent_set(inputs, gamma, l);
+  std::ptrdiff_t last = -1;
+  for (std::size_t v = 0; v + l <= inputs.size(); ++v) {
+    if (!member[v]) continue;
+    if (last >= 0 && v - static_cast<std::size_t>(last) <= gamma) {
+      // Members this close must have identical windows — impossible in an
+      // irregular stretch unless the word happened to repeat; verify.
+      bool same = true;
+      for (std::size_t k = 0; k < l && same; ++k) {
+        same = inputs[v + k] == inputs[static_cast<std::size_t>(last) + k];
+      }
+      EXPECT_TRUE(same) << "close members with distinct windows at " << v;
+    }
+    last = static_cast<std::ptrdiff_t>(v);
+  }
+}
+
+TEST(Partition, InvariantsOnRandomAndPeriodicInputs) {
+  Rng rng(10);
+  PartitionParams params;
+  params.l_width = 3;
+  params.l_count = 4;
+  params.l_pattern = 3;
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t n = 60 + rng.next_below(120);
+    Instance instance =
+        trial % 3 == 0 ? periodic_instance(Topology::kDirectedCycle, n, {0, 1}, rng)
+                       : random_instance(Topology::kDirectedCycle, n, 2, rng);
+    const Partition part = partition(instance, params);
+    const auto failure = check_partition(instance, params, part);
+    EXPECT_FALSE(failure.has_value()) << "trial " << trial << ": "
+                                      << (failure ? *failure : "");
+  }
+}
+
+TEST(Partition, WholePeriodicCycleDetected) {
+  Rng rng(11);
+  PartitionParams params{3, 4, 3};
+  Instance instance = periodic_instance(Topology::kDirectedCycle, 60, {0, 1}, rng);
+  const Partition part = partition(instance, params);
+  EXPECT_TRUE(part.whole_cycle_periodic);
+  ASSERT_EQ(part.components.size(), 1u);
+  EXPECT_TRUE(part.components[0].long_component);
+  EXPECT_EQ(part.components[0].pattern, (Word{0, 1}));
+}
+
+}  // namespace
+}  // namespace lclpath

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "lcl/normalize.hpp"
+#include "test_util.hpp"
+
+namespace lclpath {
+namespace {
+
+// Lemma 2: the V_in,in-out,out -> V_in-out + V_out-out construction.
+TEST(Lemma2, EdgeVerifierCompilesToPairwise) {
+  // "output equals the predecessor's input" — needs the full edge view.
+  EdgeVerifierProblem source;
+  source.name = "copy-pred-input";
+  source.inputs = Alphabet({"0", "1"});
+  source.outputs = Alphabet({"g0", "g1"});
+  source.topology = Topology::kDirectedCycle;
+  source.node_ok = [](Label, Label) { return true; };
+  source.edge_ok = [](Label in_u, Label, Label, Label out_v) { return out_v == in_u; };
+
+  const PairwiseProblem compiled = normalize_edge_verifier(source);
+  EXPECT_EQ(compiled.num_outputs(), 4u);  // alpha * beta
+
+  // Instance 0 1 1 0: outputs must copy the predecessor's input, and the
+  // compiled outputs must carry the node's own input truthfully.
+  const Word inputs{0, 1, 1, 0};
+  const auto solved = solve_by_dp(compiled, inputs);
+  ASSERT_TRUE(solved.has_value());
+  // Decode: output label = in * beta + out.
+  const std::size_t beta = source.outputs.size();
+  for (std::size_t v = 0; v < inputs.size(); ++v) {
+    const Label in_copy = (*solved)[v] / beta;
+    const Label out = (*solved)[v] % beta;
+    EXPECT_EQ(in_copy, inputs[v]) << v;
+    EXPECT_EQ(out, inputs[(v + inputs.size() - 1) % inputs.size()]) << v;
+  }
+}
+
+// Lemma 3 / Figure 3: binary normalization.
+TEST(Lemma3, EncodingLayoutMatchesFigure3) {
+  const PairwiseProblem original = catalog::agreement(Topology::kDirectedPath);
+  const BinaryNormalized normalized = normalize_binary(original);
+  // alpha = 3 -> a = 2, gamma = 7.
+  EXPECT_EQ(normalized.bits_per_input, 2u);
+  EXPECT_EQ(normalized.gamma, 7u);
+  EXPECT_EQ(normalized.problem.num_inputs(), 2u);
+  // beta' = 2^gamma * (beta + 3).
+  EXPECT_EQ(normalized.problem.num_outputs(),
+            (std::size_t{1} << 7) * (original.num_outputs() + 3));
+
+  const Word encoded = normalized.encode_inputs({2});  // input "0" of agreement
+  // 1 1 1 0 b b 0 with payload bits of label 2 = "10".
+  EXPECT_EQ(encoded, (Word{1, 1, 1, 0, 1, 0, 0}));
+}
+
+TEST(Lemma3, ValidEncodingsSolveAndDecode) {
+  const PairwiseProblem original = catalog::agreement(Topology::kDirectedPath);
+  const BinaryNormalized normalized = normalize_binary(original);
+  Rng rng(42);
+  for (int trial = 0; trial < 5; ++trial) {
+    Word inputs;
+    const std::size_t n = 2 + rng.next_below(4);
+    for (std::size_t v = 0; v < n; ++v) {
+      inputs.push_back(static_cast<Label>(rng.next_below(original.num_inputs())));
+    }
+    const Word encoded = normalized.encode_inputs(inputs);
+    const auto solved = solve_by_dp(normalized.problem, encoded);
+    ASSERT_TRUE(solved.has_value()) << word_to_string(original.inputs(), inputs);
+    EXPECT_TRUE(verify_pairwise(normalized.problem, encoded, *solved).ok);
+    const Word decoded = normalized.decode_outputs(*solved);
+    ASSERT_EQ(decoded.size(), inputs.size());
+    EXPECT_TRUE(verify_pairwise(original, inputs, decoded).ok)
+        << word_to_string(original.inputs(), inputs) << " -> "
+        << word_to_string(original.outputs(), decoded);
+  }
+}
+
+TEST(Lemma3, GarbageInputsEscapeWithErrors) {
+  const PairwiseProblem original = catalog::agreement(Topology::kDirectedPath);
+  const BinaryNormalized normalized = normalize_binary(original);
+  // An input word that is not a valid Figure-3 encoding (no 1^{a+1} 0
+  // group structure anywhere) must still be solvable via E/El/Er.
+  const Word garbage{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  const auto solved = solve_by_dp(normalized.problem, garbage);
+  ASSERT_TRUE(solved.has_value());
+  EXPECT_TRUE(verify_pairwise(normalized.problem, garbage, *solved).ok);
+}
+
+TEST(Lemma3, SolvabilityIsPreservedOnEncodings) {
+  // two_coloring on paths is always solvable; its binary normalization
+  // must be solvable on every valid encoding.
+  const PairwiseProblem original = catalog::two_coloring(Topology::kDirectedPath);
+  const BinaryNormalized normalized = normalize_binary(original);
+  for (std::size_t n : {1u, 2u, 5u}) {
+    const Word inputs(n, 0);
+    const Word encoded = normalized.encode_inputs(inputs);
+    const auto solved = solve_by_dp(normalized.problem, encoded);
+    ASSERT_TRUE(solved.has_value()) << "n=" << n;
+    const Word decoded = normalized.decode_outputs(*solved);
+    EXPECT_TRUE(verify_pairwise(original, inputs, decoded).ok);
+  }
+}
+
+TEST(Lemma3, RejectsCycles) {
+  EXPECT_THROW(normalize_binary(catalog::coloring(3)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lclpath

@@ -1,0 +1,44 @@
+// Shared helpers for the lclpath test suites.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "lcl/catalog.hpp"
+#include "lcl/problem.hpp"
+#include "lcl/verifier.hpp"
+
+namespace lclpath::testing {
+
+/// Brute-force enumeration of all valid labelings of `inputs` under the
+/// pairwise problem (oracle for the DP/matrix machinery). Exponential:
+/// keep |inputs| small.
+inline std::vector<Word> all_valid_labelings(const PairwiseProblem& problem,
+                                             const Word& inputs) {
+  std::vector<Word> valid;
+  const std::size_t n = inputs.size();
+  const std::size_t beta = problem.num_outputs();
+  Word out(n, 0);
+  while (true) {
+    if (verify_pairwise(problem, inputs, out).ok) valid.push_back(out);
+    std::size_t i = n;
+    bool done = false;
+    while (i > 0) {
+      --i;
+      if (++out[i] < beta) break;
+      out[i] = 0;
+      if (i == 0) done = true;
+    }
+    if (done) break;
+  }
+  return valid;
+}
+
+/// A small problem with a nontrivial type structure used across the
+/// automata tests: secret agreement has markers, propagation and an
+/// escape label.
+inline PairwiseProblem automata_fixture(Topology topology = Topology::kDirectedCycle) {
+  return catalog::agreement(topology);
+}
+
+}  // namespace lclpath::testing
