@@ -1,14 +1,91 @@
 // Experiments E7 + E8: the decision procedure (Theorems 8 + 9) over the
-// validation catalog — verdicts, type-space sizes, and decision cost.
+// validation catalog — verdicts, type-space sizes, and decision cost —
+// plus the serial-vs-batch comparison for the thread-pooled engine.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
 
+#include "decide/batch.hpp"
 #include "decide/classifier.hpp"
+#include "hardness/undirected.hpp"
 
 namespace {
 
 using namespace lclpath;
+
+// The batch workload: every catalog problem, the Section 3.7
+// path-to-cycle lifts of the cheap directed-path entries, and renamed
+// replicas of the medium-cost problems so the pool has enough balanced
+// work to overlap (a single dominant item would cap the speedup by
+// Amdahl, which is why the 0.7s copy-input lift is excluded). The
+// undirected lifts stay out entirely: their block domains blow
+// decide_linear_gap's search up (see ROADMAP open items). Lifts that
+// reject their source are skipped.
+std::vector<PairwiseProblem> batch_workload() {
+  std::vector<PairwiseProblem> problems;
+  for (const auto& entry : catalog::validation_catalog()) {
+    problems.push_back(entry.problem);
+  }
+  const PairwiseProblem liftable[] = {
+      catalog::coloring(3, Topology::kDirectedPath),
+      catalog::two_coloring(Topology::kDirectedPath),
+      catalog::constant_output(Topology::kDirectedPath),
+  };
+  for (const PairwiseProblem& p : liftable) {
+    try {
+      problems.push_back(hardness::lift_path_to_cycle(p));
+    } catch (const std::exception&) {
+    }
+  }
+  for (int copy = 0; copy < 4; ++copy) {
+    for (PairwiseProblem p : {catalog::agreement(),
+                              catalog::agreement(Topology::kDirectedPath),
+                              catalog::shift_input()}) {
+      p.set_name(p.name() + "#" + std::to_string(copy));
+      problems.push_back(std::move(p));
+    }
+  }
+  return problems;
+}
+
+void ClassifyWorkloadSerial(benchmark::State& state) {
+  const auto problems = batch_workload();
+  for (auto _ : state) {
+    for (const PairwiseProblem& p : problems) {
+      try {
+        const ClassifiedProblem result = classify(p);
+        benchmark::DoNotOptimize(result.complexity());
+      } catch (const std::exception&) {
+      }
+    }
+  }
+  state.counters["problems"] = static_cast<double>(problems.size());
+}
+BENCHMARK(ClassifyWorkloadSerial)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void ClassifyWorkloadBatch(benchmark::State& state) {
+  const auto problems = batch_workload();
+  BatchOptions options;
+  options.num_threads = static_cast<std::size_t>(state.range(0));
+  options.dedup = false;  // match the serial loop's work exactly
+  for (auto _ : state) {
+    const auto results = classify_batch(problems, options);
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.counters["problems"] = static_cast<double>(problems.size());
+  state.counters["threads"] = static_cast<double>(options.num_threads);
+}
+BENCHMARK(ClassifyWorkloadBatch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void ClassifyCatalogEntry(benchmark::State& state) {
   const auto entries = catalog::validation_catalog();
@@ -41,6 +118,43 @@ int main(int argc, char** argv) {
                 lclpath::to_string(result.complexity()).c_str(), result.monoid_size());
   }
   std::printf("\n");
+
+  // Headline number for the batch engine: one serial pass vs one 8-thread
+  // batch over the same workload (catalog + cheap lifts), wall clock.
+  // Skipped when a filter is given — a filtered run wants one benchmark,
+  // not seconds of fixed-cost preamble.
+  bool filtered = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strstr(argv[i], "--benchmark_filter") != nullptr) filtered = true;
+  }
+  if (!filtered) {
+    using namespace lclpath;
+    const auto problems = batch_workload();
+    using clock = std::chrono::steady_clock;
+    const auto serial_start = clock::now();
+    for (const PairwiseProblem& p : problems) {
+      try {
+        const ClassifiedProblem result = classify(p);
+        benchmark::DoNotOptimize(result.complexity());
+      } catch (const std::exception&) {
+      }
+    }
+    const double serial_s =
+        std::chrono::duration<double>(clock::now() - serial_start).count();
+    BatchOptions options;
+    options.num_threads = 8;
+    options.dedup = false;
+    const auto batch_start = clock::now();
+    const auto results = classify_batch(problems, options);
+    const double batch_s =
+        std::chrono::duration<double>(clock::now() - batch_start).count();
+    std::printf("=== batch engine: %zu problems ===\n", problems.size());
+    std::printf("serial:          %.3fs\n", serial_s);
+    std::printf("batch@8threads:  %.3fs  (speedup %.2fx, %u hardware threads)\n\n",
+                batch_s, batch_s > 0 ? serial_s / batch_s : 0.0,
+                std::thread::hardware_concurrency());
+  }
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,17 +1,33 @@
 // Classify the whole validation catalog and print the landscape — the
 // paper's headline: the complexity of every LCL on labeled paths/cycles
 // is decidable, and is always O(1), Theta(log* n) or Theta(n).
+// The catalog is classified as one parallel batch (decide/batch.hpp).
 #include <cstdio>
+#include <vector>
 
-#include "decide/classifier.hpp"
+#include "decide/batch.hpp"
 
 int main() {
   using namespace lclpath;
+  const auto entries = catalog::validation_catalog();
+  std::vector<PairwiseProblem> problems;
+  problems.reserve(entries.size());
+  for (const auto& entry : entries) problems.push_back(entry.problem);
+  const std::vector<BatchEntry> batch = classify_batch(problems);
+
   std::printf("%-28s %-18s %-14s %-14s %8s\n", "problem", "topology", "expected",
               "decided", "monoid");
   bool all_match = true;
-  for (const auto& entry : catalog::validation_catalog()) {
-    const ClassifiedProblem result = classify(entry.problem);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const CatalogEntry& entry = entries[i];
+    if (!batch[i].ok()) {
+      all_match = false;
+      std::printf("%-28s %-18s %-14s error: %s\n", entry.problem.name().c_str(),
+                  to_string(entry.problem.topology()).c_str(),
+                  to_string(entry.expected).c_str(), batch[i].error().c_str());
+      continue;
+    }
+    const ClassifiedProblem& result = batch[i].classified();
     const bool match = result.complexity() == entry.expected;
     all_match = all_match && match;
     std::printf("%-28s %-18s %-14s %-14s %8zu %s\n", entry.problem.name().c_str(),

@@ -3,20 +3,115 @@
 //   $ ./examples/lclpath_cli problem.lcl
 //   $ ./examples/lclpath_cli --demo            # classify the catalog
 //   $ cat problem.lcl | ./examples/lclpath_cli -
+//   $ ./examples/lclpath_cli classify-batch [--threads N] many.lcl ...
 //
 // Output: the complexity class (Theorems 8+9), the certificate summary,
 // and — when the problem is solvable — a sample run of the synthesized
-// algorithm on a random instance.
+// algorithm on a random instance. classify-batch reads files holding any
+// number of concatenated problem blocks (each ending in `end`; `-` =
+// stdin) and classifies them all on a thread pool.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "decide/batch.hpp"
 #include "decide/classifier.hpp"
 #include "lcl/serialize.hpp"
 
 namespace {
+
+std::string read_source(const char* path) {
+  std::ostringstream buffer;
+  if (std::strcmp(path, "-") == 0) {
+    buffer << std::cin.rdbuf();
+  } else {
+    std::ifstream file(path);
+    if (!file) throw std::runtime_error(std::string("cannot open ") + path);
+    buffer << file.rdbuf();
+  }
+  return buffer.str();
+}
+
+int run_classify_batch(int argc, char** argv) {
+  using namespace lclpath;
+  BatchOptions options;
+  std::vector<const char*> paths;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--threads needs a count\n");
+        return 2;
+      }
+      char* end = nullptr;
+      const long count = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || count < 0) {
+        std::fprintf(stderr, "--threads: '%s' is not a thread count\n", argv[i]);
+        return 2;
+      }
+      options.num_threads = static_cast<std::size_t>(count);
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (paths.empty()) paths.push_back("-");
+
+  std::vector<PairwiseProblem> problems;
+  try {
+    for (const char* path : paths) {
+      for (PairwiseProblem& problem : parse_problems(read_source(path))) {
+        problems.push_back(std::move(problem));
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  if (problems.empty()) {
+    std::fprintf(stderr, "classify-batch: no problems found\n");
+    return 2;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<BatchEntry> batch;
+  try {
+    batch = classify_batch(problems, options);
+  } catch (const std::exception& e) {
+    // e.g. the OS refused to spawn the requested worker threads.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  const auto elapsed = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - start);
+
+  int failures = 0;
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    if (batch[i].ok()) {
+      // Deduplicated slots share the representative's result; keep the
+      // slot's own name in front so every input line is accounted for.
+      const std::string& rep_name = batch[i].classified().problem().name();
+      if (batch[i].deduplicated && problems[i].name() != rep_name) {
+        std::printf("%s: same problem as '%s'  [dedup]\n", problems[i].name().c_str(),
+                    rep_name.c_str());
+      } else {
+        std::printf("%s%s\n", batch[i].classified().summary().c_str(),
+                    batch[i].deduplicated ? "  [dedup]" : "");
+      }
+    } else {
+      ++failures;
+      std::printf("%s: ERROR: %s\n", problems[i].name().c_str(),
+                  batch[i].error().c_str());
+    }
+  }
+  std::printf("classified %zu problem(s) in %.3fs (%zu failed)\n", problems.size(),
+              elapsed.count(), static_cast<std::size_t>(failures));
+  return failures == 0 ? 0 : 1;
+}
 
 int classify_and_report(const lclpath::PairwiseProblem& problem, bool run_sample) {
   using namespace lclpath;
@@ -48,6 +143,9 @@ int classify_and_report(const lclpath::PairwiseProblem& problem, bool run_sample
 
 int main(int argc, char** argv) {
   using namespace lclpath;
+  if (argc >= 2 && std::strcmp(argv[1], "classify-batch") == 0) {
+    return run_classify_batch(argc, argv);
+  }
   if (argc >= 2 && std::strcmp(argv[1], "--demo") == 0) {
     for (const auto& entry : catalog::validation_catalog()) {
       std::printf("-- %s\n", entry.note.c_str());
@@ -58,28 +156,14 @@ int main(int argc, char** argv) {
   if (argc != 2) {
     std::fprintf(stderr,
                  "usage: %s <problem.lcl | - | --demo>\n"
+                 "       %s classify-batch [--threads N] [file.lcl ... | -]\n"
                  "File format: see lcl/serialize.hpp (lcl/topology/inputs/outputs/"
-                 "node/edge/end).\n",
-                 argv[0]);
+                 "node/edge/first/last/end).\n",
+                 argv[0], argv[0]);
     return 2;
   }
-  std::string text;
-  if (std::strcmp(argv[1], "-") == 0) {
-    std::ostringstream buffer;
-    buffer << std::cin.rdbuf();
-    text = buffer.str();
-  } else {
-    std::ifstream file(argv[1]);
-    if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
-      return 2;
-    }
-    std::ostringstream buffer;
-    buffer << file.rdbuf();
-    text = buffer.str();
-  }
   try {
-    const PairwiseProblem problem = parse_problem(text);
+    const PairwiseProblem problem = parse_problem(read_source(argv[1]));
     return classify_and_report(problem, true);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

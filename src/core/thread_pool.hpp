@@ -1,0 +1,60 @@
+// A fixed-size worker pool with a shared FIFO queue.
+//
+// The decision procedure is CPU-bound and embarrassingly parallel across
+// problems (each classify() call builds its own transition system and
+// monoid), so a simple lock-based queue is plenty: tasks are coarse
+// (milliseconds to seconds each) and contention on the queue mutex is
+// negligible. Exceptions thrown by a task are captured in its future.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace lclpath {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains nothing: pending tasks that have not started are discarded, but
+  /// running tasks finish before the workers join. Prefer waiting on the
+  /// futures of every submitted task before destruction.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a nullary callable; the returned future yields its result or
+  /// rethrows its exception. Throws std::runtime_error after shutdown began.
+  template <typename F>
+  auto submit(F f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(f));
+    std::future<R> result = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return result;
+  }
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace lclpath

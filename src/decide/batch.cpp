@@ -1,0 +1,156 @@
+#include "decide/batch.hpp"
+
+#include <algorithm>
+#include <future>
+#include <stdexcept>
+#include <string_view>
+#include <thread>
+#include <utility>
+
+#include "core/thread_pool.hpp"
+#include "lcl/serialize.hpp"
+
+namespace lclpath {
+
+const std::string& BatchEntry::error() const {
+  static const std::string kEmpty;
+  return outcome ? outcome->error : kEmpty;
+}
+
+const ClassifiedProblem& BatchEntry::classified() const {
+  if (!ok()) {
+    throw std::runtime_error("BatchEntry: problem failed to classify: " + error());
+  }
+  return *outcome->classified;
+}
+
+std::shared_ptr<const BatchOutcome> BatchCache::find(std::uint64_t hash,
+                                                     const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [begin, end] = entries_.equal_range(hash);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second.first == key) {
+      ++hits_;
+      return it->second.second;
+    }
+  }
+  ++misses_;
+  return nullptr;
+}
+
+void BatchCache::insert(std::uint64_t hash, std::string key,
+                        std::shared_ptr<const BatchOutcome> outcome) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [begin, end] = entries_.equal_range(hash);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second.first == key) return;  // first writer wins
+  }
+  entries_.emplace(hash, std::make_pair(std::move(key), std::move(outcome)));
+}
+
+std::size_t BatchCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t BatchCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t BatchCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::vector<BatchEntry> classify_batch(std::span<const PairwiseProblem> problems,
+                                       const BatchOptions& options) {
+  const std::size_t n = problems.size();
+  std::vector<BatchEntry> results(n);
+  if (n == 0) return results;
+
+  // Identity pass: canonical keys are cheap (text serialization of small
+  // constraint tables) next to classification, but both they and the
+  // hashes are pure waste when nothing consumes them.
+  const bool need_keys = options.dedup || options.cache != nullptr;
+  std::vector<std::string> keys(need_keys ? n : 0);
+  std::vector<std::uint64_t> hashes(options.cache != nullptr ? n : 0);
+  for (std::size_t i = 0; i < n && need_keys; ++i) {
+    keys[i] = canonical_key(problems[i]);
+    if (options.cache != nullptr) hashes[i] = canonical_hash(keys[i]);
+  }
+
+  // rep_of[i]: index of the first batch slot with the same key as slot i.
+  std::vector<std::size_t> rep_of(n);
+  if (options.dedup) {
+    std::unordered_map<std::string_view, std::size_t> first_seen;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto [it, inserted] = first_seen.emplace(keys[i], i);
+      rep_of[i] = it->second;
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) rep_of[i] = i;
+  }
+
+  // Resolve representatives from the cache first, so the pool is sized to
+  // the problems that actually need classifying.
+  std::vector<std::size_t> to_run;
+  to_run.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rep_of[i] != i) continue;
+    if (options.cache != nullptr) {
+      if (auto cached = options.cache->find(hashes[i], keys[i])) {
+        results[i].outcome = std::move(cached);
+        results[i].from_cache = true;
+        continue;
+      }
+    }
+    to_run.push_back(i);
+  }
+
+  // Classify the misses on the pool. Futures are collected per slot, so
+  // input order is preserved no matter which worker finishes first.
+  if (!to_run.empty()) {
+    std::size_t pool_size = options.num_threads;
+    if (pool_size == 0) {
+      pool_size = std::thread::hardware_concurrency();
+      if (pool_size == 0) pool_size = 1;
+    }
+    ThreadPool pool(std::min(pool_size, to_run.size()));
+    std::vector<std::pair<std::size_t, std::future<std::shared_ptr<const BatchOutcome>>>>
+        pending;
+    pending.reserve(to_run.size());
+    for (const std::size_t i : to_run) {
+      pending.emplace_back(i, pool.submit([&problems, &options, i]() {
+        auto outcome = std::make_shared<BatchOutcome>();
+        try {
+          outcome->classified = classify(problems[i], options.max_monoid);
+        } catch (const std::exception& e) {
+          outcome->error = e.what();
+        } catch (...) {
+          outcome->error = "unknown exception";
+        }
+        return std::shared_ptr<const BatchOutcome>(std::move(outcome));
+      }));
+    }
+    for (auto& [i, future] : pending) {
+      results[i].outcome = future.get();
+      // Failures are not memoized: a monoid-budget overflow depends on the
+      // per-call max_monoid, so a retry with a bigger budget must recompute.
+      if (options.cache != nullptr && results[i].outcome->ok()) {
+        options.cache->insert(hashes[i], std::move(keys[i]), results[i].outcome);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rep_of[i] == i) continue;
+    const BatchEntry& rep = results[rep_of[i]];
+    results[i].outcome = rep.outcome;
+    results[i].from_cache = rep.from_cache;
+    results[i].deduplicated = true;
+  }
+  return results;
+}
+
+}  // namespace lclpath

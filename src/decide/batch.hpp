@@ -1,0 +1,101 @@
+// Batch classification: run the decision procedure (Theorems 8 + 9) over
+// many pairwise problems at once on a thread pool.
+//
+// Each classify() call is independent — it builds its own transition
+// system and monoid — so a catalog of problems parallelizes across
+// problems with no shared state. classify_batch():
+//
+//   * preserves input order: result[i] always describes problems[i];
+//   * captures per-problem failures (a monoid-budget overflow or any other
+//     exception thrown while classifying one problem is recorded in that
+//     entry; the rest of the batch is unaffected — note that an
+//     *unsolvable* problem is a successful classification, kUnsolvable);
+//   * deduplicates: semantically identical problems (same canonical_key
+//     from lcl/serialize.hpp, which ignores cosmetic names) are classified
+//     once and share one outcome;
+//   * optionally memoizes across calls via a caller-owned BatchCache.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "decide/classifier.hpp"
+
+namespace lclpath {
+
+/// The outcome of classifying one problem: a ClassifiedProblem, or the
+/// message of the exception classify() threw. Shared (immutable once
+/// published) between duplicate batch entries and cache hits.
+struct BatchOutcome {
+  std::optional<ClassifiedProblem> classified;
+  std::string error;
+
+  bool ok() const { return classified.has_value(); }
+};
+
+/// One slot of a batch result, aligned with the input problem span.
+struct BatchEntry {
+  std::shared_ptr<const BatchOutcome> outcome;
+  /// True when the outcome came from the caller's BatchCache.
+  bool from_cache = false;
+  /// True when this slot shares the outcome of an earlier identical
+  /// problem in the same batch instead of having been classified itself.
+  bool deduplicated = false;
+
+  bool ok() const { return outcome != nullptr && outcome->ok(); }
+  const std::string& error() const;
+  /// Throws std::runtime_error carrying error() if the problem failed.
+  const ClassifiedProblem& classified() const;
+};
+
+/// Thread-safe memo cache keyed by canonical_hash/canonical_key. Hash
+/// collisions are resolved by comparing full keys, so a hit is always a
+/// semantically identical problem. Only successful classifications are
+/// stored (failures may depend on the per-call monoid budget). Caller-
+/// owned so its lifetime (one CLI invocation, one server, ...) is an
+/// explicit policy decision.
+class BatchCache {
+ public:
+  std::shared_ptr<const BatchOutcome> find(std::uint64_t hash,
+                                           const std::string& key) const;
+  void insert(std::uint64_t hash, std::string key,
+              std::shared_ptr<const BatchOutcome> outcome);
+
+  std::size_t size() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_multimap<std::uint64_t,
+                          std::pair<std::string, std::shared_ptr<const BatchOutcome>>>
+      entries_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+struct BatchOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  std::size_t num_threads = 0;
+  /// Per-problem monoid budget, as in classify().
+  std::size_t max_monoid = 500000;
+  /// Optional cross-call memo cache (may be shared by concurrent batches).
+  BatchCache* cache = nullptr;
+  /// Classify identical problems once per batch. Disable to force every
+  /// slot through classify() (useful for benchmarking).
+  bool dedup = true;
+};
+
+/// Classifies every problem on a thread pool. result.size() ==
+/// problems.size() and result[i] corresponds to problems[i] regardless of
+/// completion order. Never throws on a per-problem failure.
+std::vector<BatchEntry> classify_batch(std::span<const PairwiseProblem> problems,
+                                       const BatchOptions& options = {});
+
+}  // namespace lclpath

@@ -301,18 +301,40 @@ LinearGapCertificate decide_linear_gap(const Monoid& monoid) {
   };
 
   // Backtracking over orbit representatives in order; for each, try all
-  // value pairs for (rep, rho(rep)).
-  const auto try_assign = [&](auto&& self, std::size_t orbit_pos) -> bool {
-    if (orbit_pos == orbit_reps.size()) return true;
-    const std::size_t p = orbit_reps[orbit_pos];
+  // value pairs for (rep, rho(rep)). Iterative — the search is one level
+  // deep per orbit and large domains (e.g. lifted problems) would blow the
+  // call stack with a recursive formulation.
+  const std::size_t n_orbits = orbit_reps.size();
+  std::vector<std::size_t> vi_at(n_orbits, 0);
+  std::vector<std::size_t> qi_at(n_orbits, 0);
+  std::size_t pos = 0;
+  bool entering = true;  // fresh entry at pos vs resuming after a backtrack
+  bool found = false;
+  while (true) {
+    if (pos == n_orbits) {
+      found = true;
+      break;
+    }
+    const std::size_t p = orbit_reps[pos];
     const std::size_t q = search.rho[p];
-    const std::size_t nq = search.candidates[q].size();
     const std::size_t np = search.candidates[p].size();
-    for (std::size_t vi = 0; vi < np; ++vi) {
-      chosen[p] = static_cast<int>(vi);
-      const std::size_t q_options = (q == p) ? 1 : nq;
-      for (std::size_t qi = 0; qi < q_options; ++qi) {
-        if (q != p) chosen[q] = static_cast<int>(qi);
+    const std::size_t nq = (q == p) ? 1 : search.candidates[q].size();
+    if (entering) {
+      vi_at[pos] = 0;
+      qi_at[pos] = 0;
+    } else {
+      chosen[p] = -1;
+      if (q != p) chosen[q] = -1;
+      if (++qi_at[pos] >= nq) {
+        qi_at[pos] = 0;
+        ++vi_at[pos];
+      }
+    }
+    bool placed = false;
+    while (vi_at[pos] < np && !placed) {
+      for (; qi_at[pos] < nq; ++qi_at[pos]) {
+        chosen[p] = static_cast<int>(vi_at[pos]);
+        if (q != p) chosen[q] = static_cast<int>(qi_at[pos]);
         // Check all constraints among assigned points that involve p or q.
         bool ok = true;
         for (std::size_t other = 0; other < n_points && ok; ++other) {
@@ -320,15 +342,28 @@ LinearGapCertificate decide_linear_gap(const Monoid& monoid) {
           ok = assigned_pair_ok(p, other) && assigned_pair_ok(other, p);
           if (ok && q != p) ok = assigned_pair_ok(q, other) && assigned_pair_ok(other, q);
         }
-        if (ok && self(self, orbit_pos + 1)) return true;
+        if (ok) {
+          placed = true;
+          break;
+        }
+        chosen[p] = -1;
         if (q != p) chosen[q] = -1;
       }
-      chosen[p] = -1;
+      if (!placed) {
+        ++vi_at[pos];
+        qi_at[pos] = 0;
+      }
     }
-    return false;
-  };
-
-  if (!try_assign(try_assign, 0)) return cert;
+    if (placed) {
+      ++pos;
+      entering = true;
+    } else {
+      if (pos == 0) break;
+      --pos;
+      entering = false;
+    }
+  }
+  if (!found) return cert;
 
   cert.feasible = true;
   cert.domain = search.domain;

@@ -34,6 +34,12 @@ std::vector<std::string> tokens_of(const std::string& line) {
   return tokens;
 }
 
+/// Blank, or a comment — '#' as the first non-whitespace character.
+bool is_blank_or_comment(const std::string& line) {
+  const std::size_t first = line.find_first_not_of(" \t\r");
+  return first == std::string::npos || line[first] == '#';
+}
+
 [[noreturn]] void fail(std::size_t line_no, const std::string& why) {
   throw std::invalid_argument("parse_problem: line " + std::to_string(line_no) + ": " + why);
 }
@@ -70,6 +76,23 @@ void serialize(const PairwiseProblem& problem, std::ostream& out) {
       }
     }
   }
+  if (problem.has_first_constraint()) {
+    for (Label in = 0; in < problem.num_inputs(); ++in) {
+      for (Label o = 0; o < problem.num_outputs(); ++o) {
+        if (problem.node_first_ok(in, o)) {
+          out << "first " << problem.inputs().name(in) << " "
+              << problem.outputs().name(o) << "\n";
+        }
+      }
+    }
+  }
+  if (problem.last_mask().dim() != 0) {
+    out << "last";
+    for (Label o = 0; o < problem.num_outputs(); ++o) {
+      if (problem.last_ok(o)) out << " " << problem.outputs().name(o);
+    }
+    out << "\n";
+  }
   out << "end\n";
 }
 
@@ -89,13 +112,16 @@ PairwiseProblem parse_problem(std::istream& in) {
   };
   std::vector<Pair> node_pairs;
   std::vector<Pair> edge_pairs;
+  std::vector<Pair> first_pairs;
+  std::optional<std::vector<std::string>> last_labels;
+  std::size_t last_line = 0;
   bool saw_end = false;
 
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    if (!line.empty() && line[0] == '#') continue;
+    if (is_blank_or_comment(line)) continue;
     const std::vector<std::string> tokens = tokens_of(line);
     if (tokens.empty()) continue;
     const std::string& keyword = tokens[0];
@@ -116,9 +142,17 @@ PairwiseProblem parse_problem(std::istream& in) {
         alphabet.add(tokens[i]);
       }
       (keyword == "inputs" ? inputs : outputs) = std::move(alphabet);
-    } else if (keyword == "node" || keyword == "edge") {
+    } else if (keyword == "node" || keyword == "edge" || keyword == "first") {
       if (tokens.size() != 3) fail(line_no, "'" + keyword + "' needs two labels");
-      (keyword == "node" ? node_pairs : edge_pairs).push_back({tokens[1], tokens[2], line_no});
+      auto& pairs = keyword == "node" ? node_pairs
+                    : keyword == "edge" ? edge_pairs
+                                        : first_pairs;
+      pairs.push_back({tokens[1], tokens[2], line_no});
+    } else if (keyword == "last") {
+      // Multiple `last` lines accumulate (union), like node/edge/first.
+      if (!last_labels) last_labels.emplace();
+      last_labels->insert(last_labels->end(), tokens.begin() + 1, tokens.end());
+      last_line = line_no;
     } else if (keyword == "end") {
       saw_end = true;
       break;
@@ -141,7 +175,71 @@ PairwiseProblem parse_problem(std::istream& in) {
     if (!outputs->contains(p.b)) fail(p.line, "unknown output label '" + p.b + "'");
     problem.allow_edge(p.a, p.b);
   }
+  for (const Pair& p : first_pairs) {
+    if (!inputs->contains(p.a)) fail(p.line, "unknown input label '" + p.a + "'");
+    if (!outputs->contains(p.b)) fail(p.line, "unknown output label '" + p.b + "'");
+    problem.allow_node_first(p.a, p.b);
+  }
+  if (last_labels) {
+    BitVector allowed(outputs->size());
+    for (const std::string& label : *last_labels) {
+      if (!outputs->contains(label)) {
+        fail(last_line, "unknown output label '" + label + "'");
+      }
+      allowed.set(outputs->at(label), true);
+    }
+    problem.restrict_last(allowed);
+  }
   return problem;
+}
+
+std::vector<PairwiseProblem> parse_problems(std::istream& in) {
+  std::vector<PairwiseProblem> problems;
+  std::string block;
+  bool block_has_content = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    block += line;
+    block += '\n';
+    if (is_blank_or_comment(line)) continue;
+    const std::vector<std::string> tokens = tokens_of(line);
+    if (tokens.empty()) continue;
+    block_has_content = true;
+    if (tokens[0] == "end") {
+      problems.push_back(parse_problem(block));
+      block.clear();
+      block_has_content = false;
+    }
+  }
+  // Trailing lines after the final `end` must form a complete block.
+  if (block_has_content) problems.push_back(parse_problem(block));
+  return problems;
+}
+
+std::vector<PairwiseProblem> parse_problems(const std::string& text) {
+  std::istringstream stream(text);
+  return parse_problems(stream);
+}
+
+std::string canonical_key(const PairwiseProblem& problem) {
+  std::string text = serialize(problem);
+  // Drop the leading "lcl <name>" line: names don't affect semantics
+  // (operator== ignores them) and must not split the memo cache.
+  const std::size_t newline = text.find('\n');
+  return newline == std::string::npos ? std::string() : text.substr(newline + 1);
+}
+
+std::uint64_t canonical_hash(std::string_view canonical_key) {
+  std::uint64_t hash = 1469598103934665603ull;  // FNV-1a 64-bit offset basis
+  for (const char c : canonical_key) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;  // FNV-1a 64-bit prime
+  }
+  return hash;
+}
+
+std::uint64_t canonical_hash(const PairwiseProblem& problem) {
+  return canonical_hash(canonical_key(problem));
 }
 
 }  // namespace lclpath

@@ -15,12 +15,21 @@
 //   ...
 //   end
 //
+// Path problems may additionally carry `first <in> <out>` lines (the
+// distinct node constraint for the path start) and a single
+// `last <out> ...` line (the allowed-output mask for the path end); both
+// are omitted when they equal the defaults, so problems without endpoint
+// constraints serialize exactly as before.
+//
 // Lines starting with '#' are comments. Used by the examples and by the
 // golden-file tests.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "lcl/problem.hpp"
 
@@ -33,5 +42,22 @@ void serialize(const PairwiseProblem& problem, std::ostream& out);
 /// number on malformed input.
 PairwiseProblem parse_problem(const std::string& text);
 PairwiseProblem parse_problem(std::istream& in);
+
+/// Parses a stream of concatenated problem blocks (each terminated by
+/// `end`) until EOF. Blank lines and comments between blocks are skipped.
+std::vector<PairwiseProblem> parse_problems(std::istream& in);
+std::vector<PairwiseProblem> parse_problems(const std::string& text);
+
+/// The serialized form minus the name line: two problems have the same key
+/// iff they are operator==-equal (names are cosmetic there too). Used as
+/// the memo-cache identity for batch classification.
+std::string canonical_key(const PairwiseProblem& problem);
+
+/// FNV-1a of canonical_key(); cheap fingerprint for hash maps. Callers
+/// that cannot tolerate collisions must compare keys on hash hits. The
+/// string overload hashes an already-computed canonical key without
+/// re-serializing the problem.
+std::uint64_t canonical_hash(const PairwiseProblem& problem);
+std::uint64_t canonical_hash(std::string_view canonical_key);
 
 }  // namespace lclpath

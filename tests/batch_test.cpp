@@ -1,0 +1,172 @@
+#include "decide/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lcl/serialize.hpp"
+
+namespace lclpath {
+namespace {
+
+std::vector<PairwiseProblem> catalog_problems() {
+  std::vector<PairwiseProblem> problems;
+  for (const auto& entry : catalog::validation_catalog()) {
+    problems.push_back(entry.problem);
+  }
+  return problems;
+}
+
+// The acceptance property: batch results over the full validation catalog
+// are element-wise identical to serial classify().
+TEST(Batch, MatchesSerialClassifyOnCatalog) {
+  const auto problems = catalog_problems();
+  BatchOptions options;
+  options.num_threads = 4;
+  const std::vector<BatchEntry> batch = classify_batch(problems, options);
+  ASSERT_EQ(batch.size(), problems.size());
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok()) << problems[i].name() << ": " << batch[i].error();
+    const ClassifiedProblem serial = classify(problems[i]);
+    const ClassifiedProblem& parallel = batch[i].classified();
+    EXPECT_EQ(parallel.complexity(), serial.complexity()) << problems[i].name();
+    EXPECT_EQ(parallel.monoid_size(), serial.monoid_size()) << problems[i].name();
+    EXPECT_EQ(parallel.summary(), serial.summary()) << problems[i].name();
+    // Slot i describes problems[i]: ordering is deterministic.
+    EXPECT_EQ(parallel.problem(), problems[i]) << problems[i].name();
+  }
+}
+
+TEST(Batch, UnsolvableProblemsAreSuccessfulClassifications) {
+  std::vector<PairwiseProblem> problems = {catalog::empty_problem(),
+                                           catalog::coloring(3)};
+  const auto batch = classify_batch(problems);
+  ASSERT_EQ(batch.size(), 2u);
+  ASSERT_TRUE(batch[0].ok());
+  ASSERT_TRUE(batch[1].ok());
+  EXPECT_EQ(batch[0].classified().complexity(), ComplexityClass::kUnsolvable);
+  EXPECT_EQ(batch[1].classified().complexity(), ComplexityClass::kLogStar);
+}
+
+// A problem whose reachable type space exceeds the monoid budget throws in
+// classify(); in a batch the failure must stay confined to its slot.
+TEST(Batch, BudgetOverflowDoesNotPoisonTheBatch) {
+  const PairwiseProblem small = catalog::constant_output();
+  const PairwiseProblem big = catalog::coloring(4);
+  const std::size_t small_monoid = classify(small).monoid_size();
+  const std::size_t big_monoid = classify(big).monoid_size();
+  ASSERT_LT(small_monoid, big_monoid);
+  BatchOptions options;
+  options.max_monoid = (small_monoid + big_monoid) / 2;
+
+  std::vector<PairwiseProblem> problems = {big, small, big};
+  const auto batch = classify_batch(problems, options);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_FALSE(batch[0].ok());
+  EXPECT_FALSE(batch[0].error().empty());
+  EXPECT_THROW(batch[0].classified(), std::runtime_error);
+  ASSERT_TRUE(batch[1].ok()) << batch[1].error();
+  EXPECT_EQ(batch[1].classified().complexity(), ComplexityClass::kConstant);
+  EXPECT_FALSE(batch[2].ok());
+}
+
+TEST(Batch, DeduplicatesIdenticalProblems) {
+  PairwiseProblem renamed = catalog::coloring(3);
+  renamed.set_name("same-problem-different-name");
+  std::vector<PairwiseProblem> problems = {catalog::coloring(3),
+                                           catalog::coloring(3), renamed};
+  const auto batch = classify_batch(problems);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_FALSE(batch[0].deduplicated);
+  EXPECT_TRUE(batch[1].deduplicated);
+  // Names are cosmetic: the canonical key ignores them.
+  EXPECT_TRUE(batch[2].deduplicated);
+  EXPECT_EQ(batch[0].outcome.get(), batch[1].outcome.get());
+  EXPECT_EQ(batch[0].outcome.get(), batch[2].outcome.get());
+  EXPECT_EQ(batch[1].classified().complexity(), ComplexityClass::kLogStar);
+}
+
+TEST(Batch, DedupCanBeDisabled) {
+  std::vector<PairwiseProblem> problems = {catalog::coloring(3),
+                                           catalog::coloring(3)};
+  BatchOptions options;
+  options.dedup = false;
+  const auto batch = classify_batch(problems, options);
+  EXPECT_FALSE(batch[0].deduplicated);
+  EXPECT_FALSE(batch[1].deduplicated);
+  EXPECT_NE(batch[0].outcome.get(), batch[1].outcome.get());
+}
+
+TEST(Batch, CacheServesRepeatCalls) {
+  BatchCache cache;
+  BatchOptions options;
+  options.cache = &cache;
+  std::vector<PairwiseProblem> problems = {catalog::coloring(3),
+                                           catalog::maximal_independent_set()};
+
+  const auto first = classify_batch(problems, options);
+  EXPECT_FALSE(first[0].from_cache);
+  EXPECT_FALSE(first[1].from_cache);
+  EXPECT_EQ(cache.size(), 2u);
+
+  const auto second = classify_batch(problems, options);
+  EXPECT_TRUE(second[0].from_cache);
+  EXPECT_TRUE(second[1].from_cache);
+  // Cached outcomes are shared, not recomputed.
+  EXPECT_EQ(first[0].outcome.get(), second[0].outcome.get());
+  EXPECT_EQ(second[0].classified().complexity(), ComplexityClass::kLogStar);
+  EXPECT_GE(cache.hits(), 2u);
+}
+
+TEST(Batch, CacheDoesNotMemoizeBudgetFailures) {
+  const PairwiseProblem big = catalog::coloring(4);
+  const std::size_t big_monoid = classify(big).monoid_size();
+  ASSERT_GT(big_monoid, 1u);
+  BatchCache cache;
+  std::vector<PairwiseProblem> problems = {big};
+
+  BatchOptions tight;
+  tight.cache = &cache;
+  tight.max_monoid = big_monoid - 1;
+  const auto first = classify_batch(problems, tight);
+  ASSERT_FALSE(first[0].ok());
+  EXPECT_EQ(cache.size(), 0u);
+
+  // A retry with a sufficient budget must recompute, not replay the error.
+  BatchOptions roomy;
+  roomy.cache = &cache;
+  const auto second = classify_batch(problems, roomy);
+  ASSERT_TRUE(second[0].ok()) << second[0].error();
+  EXPECT_FALSE(second[0].from_cache);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(Batch, EmptyBatchIsEmpty) {
+  const auto batch = classify_batch({});
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST(CanonicalKey, IgnoresNamesButSeesConstraints) {
+  PairwiseProblem a = catalog::coloring(3);
+  PairwiseProblem b = catalog::coloring(3);
+  b.set_name("renamed");
+  EXPECT_EQ(canonical_key(a), canonical_key(b));
+  EXPECT_EQ(canonical_hash(a), canonical_hash(b));
+
+  const PairwiseProblem c = catalog::coloring(4);
+  EXPECT_NE(canonical_key(a), canonical_key(c));
+
+  // Endpoint constraints are part of the identity (serialized via the
+  // `first` / `last` lines).
+  PairwiseProblem d = catalog::coloring(3, Topology::kDirectedPath);
+  PairwiseProblem e = d;
+  e.forbid_last(0);
+  EXPECT_NE(canonical_key(d), canonical_key(e));
+  PairwiseProblem f = d;
+  f.allow_node_first("_", "c0");
+  EXPECT_NE(canonical_key(d), canonical_key(f));
+}
+
+}  // namespace
+}  // namespace lclpath

@@ -160,6 +160,45 @@ TEST(Serialize, RoundTripsEveryCatalogProblem) {
   }
 }
 
+TEST(Serialize, RoundTripsEndpointConstraints) {
+  // `first` / `last` lines keep path-endpoint constraints lossless.
+  PairwiseProblem p = catalog::coloring(3, Topology::kDirectedPath);
+  p.allow_node_first("_", "c0");
+  p.allow_node_first("_", "c1");
+  p.forbid_last(2);
+  const std::string text = serialize(p);
+  EXPECT_NE(text.find("first _ c0"), std::string::npos);
+  EXPECT_NE(text.find("last c0 c1"), std::string::npos);
+  const PairwiseProblem parsed = parse_problem(text);
+  EXPECT_EQ(parsed, p);
+  EXPECT_TRUE(parsed.has_first_constraint());
+  EXPECT_FALSE(parsed.last_ok(2));
+}
+
+TEST(Serialize, ParsesConcatenatedProblems) {
+  const std::string text = serialize(catalog::coloring(3)) + "\n# comment\n\n" +
+                           serialize(catalog::maximal_independent_set()) +
+                           "  # indented trailing comment\n";
+  const std::vector<PairwiseProblem> problems = parse_problems(text);
+  ASSERT_EQ(problems.size(), 2u);
+  EXPECT_EQ(problems[0], catalog::coloring(3));
+  EXPECT_EQ(problems[1], catalog::maximal_independent_set());
+  EXPECT_TRUE(parse_problems(std::string("# only comments\n\n")).empty());
+  EXPECT_THROW(parse_problems(std::string("inputs a\noutputs x\nnode a x\n")),
+               std::invalid_argument);
+}
+
+TEST(Serialize, MultipleLastLinesAccumulate) {
+  PairwiseProblem p = catalog::coloring(3, Topology::kDirectedPath);
+  p.forbid_last(2);
+  std::string text = serialize(p);
+  // Split "last c0 c1" into two lines; the union must round-trip the same.
+  const std::size_t at = text.find("last c0 c1");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 10, "last c0\nlast c1");
+  EXPECT_EQ(parse_problem(text), p);
+}
+
 TEST(Serialize, RejectsMalformedInput) {
   EXPECT_THROW(parse_problem("lcl x\nend\n"), std::invalid_argument);
   EXPECT_THROW(parse_problem("inputs a\noutputs x\nnode b x\nend\n"),

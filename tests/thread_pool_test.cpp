@@ -1,0 +1,104 @@
+#include "core/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace lclpath {
+namespace {
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter]() { ++counter; }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ReturnsValues) {
+  ThreadPool pool(2);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([i]() { return i * i; }));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  auto good = pool.submit([]() { return 7; });
+  EXPECT_EQ(good.get(), 7);
+  try {
+    bad.get();
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([]() { return 41 + 1; }).get(), 42);
+}
+
+// Stress: far more tasks than workers, with tasks themselves submitting
+// nothing but churning the queue from many producers.
+TEST(ThreadPool, StressManyTasksFewThreads) {
+  ThreadPool pool(2);
+  constexpr int kTasks = 2000;
+  std::atomic<long> sum{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(kTasks);
+  for (int i = 1; i <= kTasks; ++i) {
+    futures.push_back(pool.submit([&sum, i]() { sum += i; }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(sum.load(), static_cast<long>(kTasks) * (kTasks + 1) / 2);
+}
+
+TEST(ThreadPool, TasksRunConcurrentlyWhenThreadsAllow) {
+  ThreadPool pool(2);
+  // Two tasks that each wait for the other to start: completes only if
+  // both run at the same time.
+  std::promise<void> first_started;
+  std::shared_future<void> first_started_future(first_started.get_future());
+  auto a = pool.submit([&first_started]() { first_started.set_value(); });
+  auto b = pool.submit([first_started_future]() {
+    ASSERT_EQ(first_started_future.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready);
+  });
+  a.get();
+  b.get();
+}
+
+TEST(ThreadPool, DestructionJoinsRunningTasks) {
+  std::atomic<bool> started{false};
+  std::atomic<bool> finished{false};
+  {
+    ThreadPool pool(1);
+    pool.submit([&started, &finished]() {
+      started = true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      finished = true;
+    });
+    while (!started.load()) std::this_thread::yield();
+  }  // destructor must wait for the in-flight task
+  EXPECT_TRUE(finished.load());
+}
+
+}  // namespace
+}  // namespace lclpath
