@@ -18,13 +18,14 @@ namespace {
 using namespace lclpath;
 
 // The batch workload: every catalog problem, the Section 3.7
-// path-to-cycle lifts of the cheap directed-path entries, and renamed
-// replicas of the medium-cost problems so the pool has enough balanced
-// work to overlap (a single dominant item would cap the speedup by
-// Amdahl, which is why the 0.7s copy-input lift is excluded). The
-// undirected lifts stay out entirely: their block domains blow
-// decide_linear_gap's search up (see ROADMAP open items). Lifts that
-// reject their source are skipped.
+// path-to-cycle lifts of the cheap directed-path entries, the undirected
+// lifts of the same entries (classifiable since decide_linear_gap's
+// factorized engine replaced the quadratic point-pair sweep — previously
+// they had to stay out entirely), and renamed replicas of the medium-cost
+// problems so the pool has enough balanced work to overlap (a single
+// dominant item would cap the speedup by Amdahl, which is why the 0.7s
+// copy-input cycle lift is excluded). Lifts that reject their source are
+// skipped.
 std::vector<PairwiseProblem> batch_workload() {
   std::vector<PairwiseProblem> problems;
   for (const auto& entry : catalog::validation_catalog()) {
@@ -38,6 +39,10 @@ std::vector<PairwiseProblem> batch_workload() {
   for (const PairwiseProblem& p : liftable) {
     try {
       problems.push_back(hardness::lift_path_to_cycle(p));
+    } catch (const std::exception&) {
+    }
+    try {
+      problems.push_back(hardness::lift_to_undirected(p));
     } catch (const std::exception&) {
     }
   }
@@ -86,6 +91,23 @@ BENCHMARK(ClassifyWorkloadBatch)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// End-to-end classification of the ROADMAP headline case the old engine
+// could not touch: lift_to_undirected(coloring(3, path)), ~7 * 10^5 domain
+// points. Exists so the factorized decide_linear_gap speedup is visible at
+// the classify() surface, not just inside the decider.
+void ClassifyLiftedUndirectedColoring(benchmark::State& state) {
+  const PairwiseProblem lifted =
+      hardness::lift_to_undirected(catalog::coloring(3, Topology::kDirectedPath));
+  for (auto _ : state) {
+    const ClassifiedProblem result = classify(lifted);
+    if (result.complexity() != ComplexityClass::kConstant) {
+      state.SkipWithError("unexpected class");
+    }
+    benchmark::DoNotOptimize(result.monoid_size());
+  }
+}
+BENCHMARK(ClassifyLiftedUndirectedColoring)->Unit(benchmark::kMillisecond);
 
 void ClassifyCatalogEntry(benchmark::State& state) {
   const auto entries = catalog::validation_catalog();

@@ -2,11 +2,23 @@
 // class, report the synthesized algorithm's view radius ("rounds") across
 // n — the paper's O(1) / Theta(log* n) / Theta(n) landscape. Also times
 // one full simulated execution per regime at a moderate n.
+//
+// Experiment E10: decide_linear_gap scaling — the factorized aggregate
+// engine (default) against the legacy pair-wise sweep across growing block
+// domains, including the Section 3.7 undirected lifts whose ~10^5-point
+// domains the pair-wise engine cannot search. `--emit-json[=path]` writes
+// the measurements as machine-readable JSON (default BENCH_linear_gap.json;
+// uploaded as a CI artifact).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "decide/classifier.hpp"
+#include "hardness/undirected.hpp"
 
 namespace {
 
@@ -34,22 +46,205 @@ void SimulateRegime(benchmark::State& state) {
 }
 BENCHMARK(SimulateRegime)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
 
+// ------------------------------------------------------------------- E10
+
+/// The pair-wise engine is quadratic in domain points; beyond this it
+/// stops answering in benchable time (on the lifts it effectively never
+/// terminates — the ROADMAP open item this PR's engine resolved).
+constexpr std::size_t kPairwiseDomainLimit = 4096;
+
+struct GapMeasurement {
+  std::string problem;
+  std::size_t points = 0;
+  std::size_t contexts = 0;
+  std::size_t monoid = 0;
+  bool feasible = false;
+  bool mismatch = false;  ///< engines disagreed on feasibility
+  double factorized_s = 0;
+  double pairwise_s = -1;  ///< < 0: not run (domain beyond the oracle limit)
+};
+
+std::vector<PairwiseProblem> gap_workload() {
+  std::vector<PairwiseProblem> problems = {
+      catalog::coloring(3),
+      catalog::input_gated_coloring(),
+      catalog::shift_input(),
+      catalog::agreement(),
+      hardness::lift_path_to_cycle(catalog::agreement(Topology::kDirectedPath)),
+      hardness::lift_to_undirected(catalog::constant_output(Topology::kDirectedPath)),
+      hardness::lift_to_undirected(catalog::two_coloring(Topology::kDirectedPath)),
+      hardness::lift_to_undirected(catalog::coloring(3, Topology::kDirectedPath)),
+  };
+  return problems;
+}
+
+std::vector<GapMeasurement> run_gap_scaling() {
+  std::vector<GapMeasurement> rows;
+  using clock = std::chrono::steady_clock;
+  for (const PairwiseProblem& problem : gap_workload()) {
+    GapMeasurement row;
+    row.problem = problem.name() + " on " + to_string(problem.topology());
+    const Monoid monoid = Monoid::enumerate(TransitionSystem::build(problem));
+    row.monoid = monoid.size();
+    row.points = linear_gap_domain_size(monoid, &row.contexts);
+    const auto t0 = clock::now();
+    const LinearGapCertificate fac = decide_linear_gap(monoid);
+    const auto t1 = clock::now();
+    row.feasible = fac.feasible;
+    row.factorized_s = std::chrono::duration<double>(t1 - t0).count();
+    if (row.points <= kPairwiseDomainLimit) {
+      const auto t2 = clock::now();
+      const LinearGapCertificate pair =
+          decide_linear_gap(monoid, LinearGapEngine::kPairwise);
+      const auto t3 = clock::now();
+      row.pairwise_s = std::chrono::duration<double>(t3 - t2).count();
+      if (pair.feasible != fac.feasible) {
+        row.mismatch = true;
+        std::fprintf(stderr, "ENGINE MISMATCH on %s\n", row.problem.c_str());
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void print_gap_table(const std::vector<GapMeasurement>& rows) {
+  std::printf("=== E10: decide_linear_gap — factorized vs pair-wise ===\n");
+  std::printf("%-44s %9s %6s %9s %12s %12s\n", "problem", "points", "ctx", "feasible",
+              "factorized", "pairwise");
+  for (const GapMeasurement& r : rows) {
+    char pairwise[32];
+    if (r.pairwise_s >= 0) {
+      std::snprintf(pairwise, sizeof pairwise, "%.4fs", r.pairwise_s);
+    } else {
+      std::snprintf(pairwise, sizeof pairwise, "(skipped)");
+    }
+    std::printf("%-44s %9zu %6zu %9s %11.4fs %12s\n", r.problem.c_str(), r.points,
+                r.contexts, r.feasible ? "yes" : "no", r.factorized_s, pairwise);
+  }
+  std::printf("(pairwise runs only on domains <= %zu points: it is quadratic in "
+              "them,\n and effectively non-terminating on the lifted domains.)\n\n",
+              kPairwiseDomainLimit);
+}
+
+/// Minimal JSON string escaping (problem names are plain catalog strings
+/// today, but a quote or backslash must never corrupt the CI artifact).
+std::string json_escaped(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void write_gap_json(const std::vector<GapMeasurement>& rows, const char* path) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(out, "[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const GapMeasurement& r = rows[i];
+    std::fprintf(out,
+                 "  {\"problem\": \"%s\", \"points\": %zu, \"contexts\": %zu, "
+                 "\"monoid\": %zu, \"feasible\": %s, \"engine_mismatch\": %s, "
+                 "\"factorized_s\": %.6f, \"pairwise_s\": ",
+                 json_escaped(r.problem).c_str(), r.points, r.contexts, r.monoid,
+                 r.feasible ? "true" : "false", r.mismatch ? "true" : "false",
+                 r.factorized_s);
+    if (r.pairwise_s >= 0) {
+      std::fprintf(out, "%.6f}%s\n", r.pairwise_s, i + 1 < rows.size() ? "," : "");
+    } else {
+      std::fprintf(out, "null}%s\n", i + 1 < rows.size() ? "," : "");
+    }
+  }
+  std::fprintf(out, "]\n");
+  std::fclose(out);
+  std::printf("wrote %s (%zu rows)\n\n", path, rows.size());
+}
+
+void DecideLinearGapLiftedColoring(benchmark::State& state) {
+  const PairwiseProblem lifted =
+      hardness::lift_to_undirected(catalog::coloring(3, Topology::kDirectedPath));
+  const Monoid monoid = Monoid::enumerate(TransitionSystem::build(lifted));
+  for (auto _ : state) {
+    const LinearGapCertificate cert = decide_linear_gap(monoid);
+    if (!cert.feasible) state.SkipWithError("expected feasible");
+    benchmark::DoNotOptimize(cert.choice.size());
+  }
+  state.counters["points"] = static_cast<double>(linear_gap_domain_size(monoid));
+}
+BENCHMARK(DecideLinearGapLiftedColoring)->Unit(benchmark::kMillisecond);
+
+void DecideLinearGapEngines(benchmark::State& state) {
+  // Both engines on a pair-wise-affordable domain (shift-input, 1024 pts).
+  const LinearGapEngine engine =
+      state.range(0) == 0 ? LinearGapEngine::kFactorized : LinearGapEngine::kPairwise;
+  const Monoid monoid =
+      Monoid::enumerate(TransitionSystem::build(catalog::shift_input()));
+  for (auto _ : state) {
+    const LinearGapCertificate cert = decide_linear_gap(monoid, engine);
+    benchmark::DoNotOptimize(cert.feasible);
+  }
+  state.SetLabel(engine == LinearGapEngine::kFactorized ? "factorized" : "pairwise");
+}
+BENCHMARK(DecideLinearGapEngines)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace lclpath;
+
+  // --emit-json[=path] is ours, not google-benchmark's; strip it.
+  const char* json_path = nullptr;
+  bool filtered = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--emit-json") == 0) {
+      json_path = "BENCH_linear_gap.json";
+    } else if (std::strncmp(argv[i], "--emit-json=", 12) == 0) {
+      json_path = argv[i] + 12;
+    } else {
+      if (std::strstr(argv[i], "--benchmark_filter") != nullptr) filtered = true;
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  int exit_code = 0;
+
+  // A filtered run wants one benchmark, not the fixed-cost experiment
+  // preamble (same convention as bench_classifier).
+  if (filtered && json_path == nullptr) {
+    benchmark::Initialize(&filtered_argc, args.data());
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+  }
+
   std::printf("=== E9: rounds (view radius) vs n for the three regimes ===\n");
   const auto constant = classify(catalog::constant_output()).synthesize();
   const auto logstar = classify(catalog::coloring(3)).synthesize();
   const auto linear = classify(catalog::agreement()).synthesize();
   std::printf("%12s %14s %14s %14s\n", "n", "O(1) rounds", "log* rounds", "Theta(n) rounds");
   for (std::size_t n : {1u << 10, 1u << 12, 1u << 14, 1u << 16, 1u << 18, 1u << 20}) {
-    std::printf("%12u %14zu %14zu %14zu\n", n, constant->radius(n), logstar->radius(n),
+    std::printf("%12zu %14zu %14zu %14zu\n", n, constant->radius(n), logstar->radius(n),
                 linear->radius(n));
   }
   std::printf("(log*(2^64) = 5: the log* term hides inside the constant; the shape\n"
               " to check is constant-vs-constant-vs-linear, as in the paper.)\n\n");
-  benchmark::Initialize(&argc, argv);
+
+  const std::vector<GapMeasurement> rows = run_gap_scaling();
+  print_gap_table(rows);
+  if (json_path != nullptr) write_gap_json(rows, json_path);
+  for (const GapMeasurement& r : rows) {
+    // An engine disagreement must fail the process (CI runs this binary as
+    // its own step), not just leave a line in the log.
+    if (r.mismatch) exit_code = 1;
+  }
+
+  benchmark::Initialize(&filtered_argc, args.data());
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return exit_code;
 }

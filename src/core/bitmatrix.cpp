@@ -222,11 +222,42 @@ BitVector BitVector::multiplied(const BitMatrix& m) const {
   return result;
 }
 
+void BitVector::multiply_into(const BitMatrix& m, BitVector& out) const {
+  assert(dim_ == m.dim() && out.dim_ == dim_);
+  assert(&out != this);  // out is cleared before this is read
+  for (std::uint64_t& w : out.words_) w = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t bits = words_[w];
+    while (bits != 0) {
+      const std::size_t i = w * kWordBits + static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      const std::uint64_t* row = m.row_words(i);
+      for (std::size_t ww = 0; ww < out.words_.size(); ++ww) out.words_[ww] |= row[ww];
+    }
+  }
+}
+
 bool BitVector::intersects(const BitVector& other) const {
   assert(dim_ == other.dim_);
   for (std::size_t w = 0; w < words_.size(); ++w)
     if ((words_[w] & other.words_[w]) != 0) return true;
   return false;
+}
+
+bool BitVector::subset_of(const BitVector& other) const {
+  assert(dim_ == other.dim_);
+  for (std::size_t w = 0; w < words_.size(); ++w)
+    if ((words_[w] & ~other.words_[w]) != 0) return false;
+  return true;
+}
+
+std::size_t BitVector::first_set() const {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return w * kWordBits + static_cast<std::size_t>(std::countr_zero(words_[w]));
+    }
+  }
+  return dim_;
 }
 
 BitVector BitVector::operator|(const BitVector& other) const {
@@ -241,6 +272,28 @@ BitVector BitVector::operator&(const BitVector& other) const {
   BitVector result = *this;
   for (std::size_t w = 0; w < words_.size(); ++w) result.words_[w] &= other.words_[w];
   return result;
+}
+
+BitVector& BitVector::operator|=(const BitVector& other) {
+  assert(dim_ == other.dim_);
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  return *this;
+}
+
+BitVector& BitVector::operator&=(const BitVector& other) {
+  assert(dim_ == other.dim_);
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+  return *this;
+}
+
+BitVector& BitVector::remove(const BitVector& other) {
+  assert(dim_ == other.dim_);
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= ~other.words_[w];
+  return *this;
+}
+
+void BitVector::clear() {
+  for (std::uint64_t& w : words_) w = 0;
 }
 
 std::size_t BitVector::hash() const {

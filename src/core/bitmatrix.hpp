@@ -96,12 +96,25 @@ class BitVector {
 
   /// v * M (boolean): result[j] = OR_i v[i] AND M[i][j].
   BitVector multiplied(const BitMatrix& m) const;
+  /// v * M written into `out` (same dim), reusing its storage — for hot
+  /// loops that cannot afford an allocation per product.
+  void multiply_into(const BitMatrix& m, BitVector& out) const;
 
   /// Inner product: OR_i a[i] AND b[i].
   bool intersects(const BitVector& other) const;
+  /// True if every set bit of *this is set in `other`.
+  bool subset_of(const BitVector& other) const;
+  /// Index of the lowest set bit, or dim() if none.
+  std::size_t first_set() const;
 
   BitVector operator|(const BitVector& other) const;
   BitVector operator&(const BitVector& other) const;
+  BitVector& operator|=(const BitVector& other);
+  BitVector& operator&=(const BitVector& other);
+  /// Clears the bits set in `other` (this &= ~other, within dim()).
+  BitVector& remove(const BitVector& other);
+  /// Zeroes every bit, keeping the dimension.
+  void clear();
 
   bool operator==(const BitVector& other) const = default;
   std::size_t hash() const;

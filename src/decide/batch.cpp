@@ -71,13 +71,23 @@ std::vector<BatchEntry> classify_batch(std::span<const PairwiseProblem> problems
 
   // Identity pass: canonical keys are cheap (text serialization of small
   // constraint tables) next to classification, but both they and the
-  // hashes are pure waste when nothing consumes them.
+  // hashes are pure waste when nothing consumes them. Cache identities
+  // additionally carry the linear-gap engine: the engines agree on the
+  // complexity class, but a differential caller sharing one cache across
+  // engines must not be served the other engine's certificates.
   const bool need_keys = options.dedup || options.cache != nullptr;
+  const std::string engine_tag =
+      options.classify.linear_engine == LinearGapEngine::kPairwise
+          ? "\nlinear-engine pairwise"
+          : "\nlinear-engine factorized";
   std::vector<std::string> keys(need_keys ? n : 0);
   std::vector<std::uint64_t> hashes(options.cache != nullptr ? n : 0);
   for (std::size_t i = 0; i < n && need_keys; ++i) {
     keys[i] = canonical_key(problems[i]);
-    if (options.cache != nullptr) hashes[i] = canonical_hash(keys[i]);
+    if (options.cache != nullptr) {
+      keys[i] += engine_tag;
+      hashes[i] = canonical_hash(keys[i]);
+    }
   }
 
   // rep_of[i]: index of the first batch slot with the same key as slot i.
@@ -124,7 +134,7 @@ std::vector<BatchEntry> classify_batch(std::span<const PairwiseProblem> problems
       pending.emplace_back(i, pool.submit([&problems, &options, i]() {
         auto outcome = std::make_shared<BatchOutcome>();
         try {
-          outcome->classified = classify(problems[i], options.max_monoid);
+          outcome->classified = classify(problems[i], options.classify);
         } catch (const std::exception& e) {
           outcome->error = e.what();
         } catch (...) {

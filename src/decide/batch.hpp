@@ -83,8 +83,10 @@ class BatchCache {
 struct BatchOptions {
   /// Worker threads; 0 means std::thread::hardware_concurrency().
   std::size_t num_threads = 0;
-  /// Per-problem monoid budget, as in classify().
-  std::size_t max_monoid = 500000;
+  /// Forwarded to every classify() call (monoid budget, linear-gap
+  /// engine, and whatever the decision procedure grows next — one struct
+  /// so batch callers can never drift out of sync with classify()).
+  ClassifyOptions classify;
   /// Optional cross-call memo cache (may be shared by concurrent batches).
   BatchCache* cache = nullptr;
   /// Classify identical problems once per batch. Disable to force every

@@ -43,6 +43,12 @@ std::string ClassifiedProblem::summary() const {
 }
 
 ClassifiedProblem classify(const PairwiseProblem& problem, std::size_t max_monoid) {
+  ClassifyOptions options;
+  options.max_monoid = max_monoid;
+  return classify(problem, options);
+}
+
+ClassifiedProblem classify(const PairwiseProblem& problem, const ClassifyOptions& options) {
   if (!is_directed(problem.topology()) && !problem.is_orientation_symmetric()) {
     throw std::invalid_argument(
         "classify: undirected topologies require an orientation-symmetric edge "
@@ -52,8 +58,8 @@ ClassifiedProblem classify(const PairwiseProblem& problem, std::size_t max_monoi
   result.problem_ = std::make_unique<PairwiseProblem>(problem);
   result.transitions_ =
       std::make_unique<TransitionSystem>(TransitionSystem::build(*result.problem_));
-  result.monoid_ =
-      std::make_unique<Monoid>(Monoid::enumerate(*result.transitions_, max_monoid));
+  result.monoid_ = std::make_unique<Monoid>(
+      Monoid::enumerate(*result.transitions_, options.max_monoid));
 
   result.solvability_ = check_solvability(*result.monoid_, problem.topology());
   if (!result.solvability_.solvable) {
@@ -61,7 +67,7 @@ ClassifiedProblem classify(const PairwiseProblem& problem, std::size_t max_monoi
     return result;
   }
 
-  result.linear_ = decide_linear_gap(*result.monoid_);
+  result.linear_ = decide_linear_gap(*result.monoid_, options.linear_engine);
   if (!result.linear_.feasible) {
     result.complexity_ = ComplexityClass::kLinear;
     return result;

@@ -29,6 +29,16 @@
 
 namespace lclpath {
 
+/// Tunables of the decision procedure.
+struct ClassifyOptions {
+  /// Budget on the reachable type space, as in classify()'s throw contract.
+  std::size_t max_monoid = 500000;
+  /// Which decide_linear_gap implementation to run (the factorized default
+  /// is the only one that terminates on lifted undirected problems; the
+  /// pairwise oracle exists for differential testing).
+  LinearGapEngine linear_engine = LinearGapEngine::kFactorized;
+};
+
 /// Classification result; owns everything synthesis needs (the problem
 /// copy, the transition system, the monoid and the certificates), so it
 /// can outlive the inputs of classify().
@@ -56,7 +66,7 @@ class ClassifiedProblem {
 
  private:
   friend ClassifiedProblem classify(const PairwiseProblem& problem,
-                                    std::size_t max_monoid);
+                                    const ClassifyOptions& options);
 
   ComplexityClass complexity_ = ComplexityClass::kUnsolvable;
   SolvabilityReport solvability_;
@@ -68,9 +78,13 @@ class ClassifiedProblem {
 };
 
 /// Runs the full decision procedure. Throws std::runtime_error if the
-/// problem's reachable type space exceeds max_monoid elements (the
+/// problem's reachable type space exceeds options.max_monoid elements (the
 /// procedure is PSPACE-hard in general — Theorem 5 — so a budget is part
 /// of the API).
+ClassifiedProblem classify(const PairwiseProblem& problem,
+                           const ClassifyOptions& options);
+
+/// Convenience overload with the default engine and the given budget.
 ClassifiedProblem classify(const PairwiseProblem& problem,
                            std::size_t max_monoid = 500000);
 

@@ -83,9 +83,34 @@ struct LinearGapCertificate {
   std::unordered_map<BlockPoint, std::size_t, BlockPointHash> index;
 };
 
+/// Which feasibility-search implementation decide_linear_gap runs.
+///
+/// The gluing constraint between two domain points reads p1 only through
+/// (right-context element, b-symbol) and p2 only through (left-context
+/// element, s0, a-symbol). kFactorized (the default) exploits that: it
+/// searches over dense aggregate symbol tables indexed by those two
+/// quotient spaces (plus the reversed-orientation combos on undirected
+/// topologies), so its cost scales with |contexts|^2 * |Sigma_in| * beta
+/// instead of with the square of the number of domain points. kPairwise is
+/// the original point-pair gluing sweep, kept as a differential-test
+/// oracle; it is asymptotically quadratic in domain points and effectively
+/// non-terminating on lifted undirected problems (~10^5 points).
+enum class LinearGapEngine : std::uint8_t { kFactorized, kPairwise };
+
 /// Decides feasibility (hence the Theta(log* n) vs Theta(n) side of the
 /// gap) for a solvable problem. The problem's topology decides endpoint
-/// handling and orientation combos.
-LinearGapCertificate decide_linear_gap(const Monoid& monoid);
+/// handling and orientation combos. Both engines decide the same predicate
+/// and emit certificates in the same domain order; only the search
+/// strategy (and the specific feasible function found) may differ.
+LinearGapCertificate decide_linear_gap(
+    const Monoid& monoid, LinearGapEngine engine = LinearGapEngine::kFactorized);
+
+/// Number of domain points decide_linear_gap enumerates for this monoid
+/// (kinds * |contexts|^2 * |Sigma_in|^2, where contexts are the layers at
+/// lengths ell_ctx and ell_ctx + 1); optionally also reports |contexts|.
+/// Exposed so tests and benchmarks can budget the quadratic pair-wise
+/// oracle without re-deriving the context-set construction.
+std::size_t linear_gap_domain_size(const Monoid& monoid,
+                                   std::size_t* num_contexts = nullptr);
 
 }  // namespace lclpath

@@ -58,7 +58,7 @@ TEST(Batch, BudgetOverflowDoesNotPoisonTheBatch) {
   const std::size_t big_monoid = classify(big).monoid_size();
   ASSERT_LT(small_monoid, big_monoid);
   BatchOptions options;
-  options.max_monoid = (small_monoid + big_monoid) / 2;
+  options.classify.max_monoid = (small_monoid + big_monoid) / 2;
 
   std::vector<PairwiseProblem> problems = {big, small, big};
   const auto batch = classify_batch(problems, options);
@@ -128,7 +128,7 @@ TEST(Batch, CacheDoesNotMemoizeBudgetFailures) {
 
   BatchOptions tight;
   tight.cache = &cache;
-  tight.max_monoid = big_monoid - 1;
+  tight.classify.max_monoid = big_monoid - 1;
   const auto first = classify_batch(problems, tight);
   ASSERT_FALSE(first[0].ok());
   EXPECT_EQ(cache.size(), 0u);

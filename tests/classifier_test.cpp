@@ -67,11 +67,10 @@ TEST(Classifier, SectionThreeSevenUndirectedLiftStructure) {
   // The Section 3.7 lift produces orientation-symmetric problems whose
   // solvability matches the source: consistently-counted instances embed
   // the original, and defective instances are rescued by the pinned
-  // escape tags. (Full classification of lifted problems works — see
-  // hardness_test's solvability round-trips — but the 27-symbol domains
-  // make the gap searches minutes-long, so this test sticks to the
-  // solvability layer; the classifier itself is exercised on undirected
-  // problems by the three Undirected* tests above.)
+  // escape tags. (Full classification of lifted problems — including the
+  // big path lifts the old pair-wise decide_linear_gap could never finish
+  // — is pinned in lifted_regression_test.cpp; this test covers the
+  // solvability layer.)
   for (PairwiseProblem source :
        {catalog::constant_output(), catalog::agreement(), catalog::two_coloring()}) {
     const PairwiseProblem lifted = hardness::lift_to_undirected(source);

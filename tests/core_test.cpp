@@ -128,6 +128,48 @@ TEST(BitVector, IntersectsAndCounts) {
   EXPECT_EQ((a & b).count(), 1u);
 }
 
+TEST(BitVector, MultiplyIntoMatchesMultiplied) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t dim = 1 + rng.next_below(150);
+    BitMatrix m(dim);
+    BitVector v(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      v.set(i, rng.next_bool());
+      for (std::size_t j = 0; j < dim; ++j) m.set(i, j, rng.next_bool(1, 3));
+    }
+    BitVector out(dim);
+    out.set(rng.next_below(dim), true);  // stale contents must be overwritten
+    v.multiply_into(m, out);
+    EXPECT_EQ(out, v.multiplied(m));
+  }
+}
+
+TEST(BitVector, SubsetFirstSetAndInPlaceOps) {
+  BitVector a(130), b(130);
+  a.set(5, true);
+  a.set(129, true);
+  EXPECT_EQ(a.first_set(), 5u);
+  EXPECT_EQ(BitVector(130).first_set(), 130u);
+  b.set(5, true);
+  EXPECT_TRUE(b.subset_of(a));
+  EXPECT_FALSE(a.subset_of(b));
+  b.set(64, true);
+  EXPECT_FALSE(b.subset_of(a));
+
+  BitVector c = a;
+  c |= b;
+  EXPECT_EQ(c, a | b);
+  c &= b;
+  EXPECT_EQ(c, (a | b) & b);
+  c.remove(a);
+  EXPECT_FALSE(c.get(5));
+  EXPECT_TRUE(c.get(64));
+  c.clear();
+  EXPECT_FALSE(c.any());
+  EXPECT_EQ(c.dim(), 130u);
+}
+
 TEST(Alphabet, AddFindRoundTrip) {
   Alphabet a({"x", "y"});
   EXPECT_EQ(a.size(), 2u);
@@ -155,7 +197,9 @@ TEST(Words, EnumerationCountsAndOrder) {
   std::size_t count = 0;
   Word previous;
   for_each_word(3, 4, [&](const Word& w) {
-    if (count > 0) EXPECT_LT(previous, w);
+    if (count > 0) {
+      EXPECT_LT(previous, w);
+    }
     previous = w;
     ++count;
   });

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "decide/classifier.hpp"
 #include "lcl/catalog.hpp"
 #include "lcl/compile.hpp"
 #include "lcl/serialize.hpp"
@@ -197,6 +198,63 @@ TEST(Serialize, MultipleLastLinesAccumulate) {
   ASSERT_NE(at, std::string::npos);
   text.replace(at, 10, "last c0\nlast c1");
   EXPECT_EQ(parse_problem(text), p);
+}
+
+TEST(Serialize, RandomizedRoundTripPreservesIdentityAndClass) {
+  // Property sweep: randomized problems — including path problems with
+  // `first`/`last` endpoint constraints, the lines PR 1 added — must
+  // survive serialize -> parse_problems with identical canonical
+  // key/hash and identical classification.
+  Rng rng(424242);
+  const Topology topologies[] = {Topology::kDirectedCycle, Topology::kDirectedPath,
+                                 Topology::kUndirectedCycle, Topology::kUndirectedPath};
+  std::string concatenated;
+  std::vector<PairwiseProblem> originals;
+  for (std::size_t trial = 0; trial < 24; ++trial) {
+    const Topology topology = topologies[trial % 4];
+    const bool undirected = !is_directed(topology);
+    const std::size_t alpha = 1 + rng.next_below(2);
+    const std::size_t beta = 2 + rng.next_below(2);
+    Alphabet in;
+    for (std::size_t i = 0; i < alpha; ++i) in.add("i" + std::to_string(i));
+    Alphabet out;
+    for (std::size_t o = 0; o < beta; ++o) out.add("o" + std::to_string(o));
+    PairwiseProblem p("rt#" + std::to_string(trial), in, out, topology);
+    for (Label i = 0; i < alpha; ++i) {
+      p.allow_node(i, static_cast<Label>(rng.next_below(beta)));
+      for (Label o = 0; o < beta; ++o) {
+        if (rng.next_bool()) p.allow_node(i, o);
+      }
+    }
+    for (Label a = 0; a < beta; ++a) {
+      for (Label b = undirected ? a : Label{0}; b < beta; ++b) {
+        if (rng.next_bool(2, 3)) {
+          p.allow_edge(a, b);
+          if (undirected) p.allow_edge(b, a);
+        }
+      }
+    }
+    if (!is_cycle(topology) && rng.next_bool()) {
+      // Endpoint constraints only exist on paths.
+      p.allow_node_first(static_cast<Label>(rng.next_below(alpha)),
+                         static_cast<Label>(rng.next_below(beta)));
+      p.forbid_last(static_cast<Label>(rng.next_below(beta)));
+    }
+    concatenated += serialize(p) + "\n";
+    originals.push_back(std::move(p));
+  }
+
+  const std::vector<PairwiseProblem> parsed = parse_problems(concatenated);
+  ASSERT_EQ(parsed.size(), originals.size());
+  for (std::size_t i = 0; i < originals.size(); ++i) {
+    SCOPED_TRACE(originals[i].name());
+    EXPECT_EQ(parsed[i], originals[i]);
+    EXPECT_EQ(canonical_key(parsed[i]), canonical_key(originals[i]));
+    EXPECT_EQ(canonical_hash(parsed[i]), canonical_hash(originals[i]));
+    const ComplexityClass before = classify(originals[i]).complexity();
+    const ComplexityClass after = classify(parsed[i]).complexity();
+    EXPECT_EQ(before, after) << to_string(before) << " vs " << to_string(after);
+  }
 }
 
 TEST(Serialize, RejectsMalformedInput) {

@@ -1,0 +1,68 @@
+// Regression tests for the PR-1 stack-overflow family: classifying
+// hardness::lift_to_undirected(...) of directed-path catalog problems.
+// PR 1 fixed the segfault (deep recursion in the pair-wise search) but the
+// quadratic point-pair sweep remained effectively non-terminating on the
+// ~10^5-point lifted domains; the factorized aggregate engine classifies
+// them in well under a second, so the whole family is pinned here under a
+// tight ctest timeout (see CMakeLists.txt).
+//
+// Expected classes: the lift's orientation counter hands every node its
+// position mod 3 — a free 3-coloring — so symmetry breaking is free and
+// every Theta(log* n) source collapses to O(1) (e.g. 3-coloring: output
+// the color indexed by the input counter; counter-defect edges only admit
+// escape tags or are "broken" and unconstrained among normal tags).
+// Theta(n) sources stay Theta(n): a mod-3 counter yields neither parity
+// (2-coloring) nor global agreement.
+#include <gtest/gtest.h>
+
+#include "decide/classifier.hpp"
+#include "hardness/undirected.hpp"
+#include "test_util.hpp"
+
+namespace lclpath {
+namespace {
+
+ClassifiedProblem classify_lift(const PairwiseProblem& source) {
+  return classify(hardness::lift_to_undirected(source));
+}
+
+TEST(LiftedUndirectedRegression, ColoringPathIsClassifiable) {
+  // The ROADMAP headline case: monoid 90, ~7 * 10^5 domain points. Used to
+  // stack-overflow (pre PR 1), then to grind forever; now sub-second.
+  const ClassifiedProblem result =
+      classify_lift(catalog::coloring(3, Topology::kDirectedPath));
+  EXPECT_EQ(result.complexity(), ComplexityClass::kConstant) << result.summary();
+  EXPECT_EQ(result.monoid_size(), 90u);
+  EXPECT_TRUE(result.linear_certificate().feasible);
+  EXPECT_TRUE(result.const_certificate().feasible);
+}
+
+TEST(LiftedUndirectedRegression, TwoColoringPathStaysLinear) {
+  const ClassifiedProblem result =
+      classify_lift(catalog::two_coloring(Topology::kDirectedPath));
+  EXPECT_EQ(result.complexity(), ComplexityClass::kLinear) << result.summary();
+  EXPECT_FALSE(result.linear_certificate().feasible);
+}
+
+TEST(LiftedUndirectedRegression, ConstantOutputPathStaysConstant) {
+  const ClassifiedProblem result =
+      classify_lift(catalog::constant_output(Topology::kDirectedPath));
+  EXPECT_EQ(result.complexity(), ComplexityClass::kConstant) << result.summary();
+}
+
+TEST(LiftedUndirectedRegression, ColoringCycleIsClassifiable) {
+  // Cycle flavor of the same family.
+  const ClassifiedProblem result = classify_lift(catalog::coloring(3));
+  EXPECT_EQ(result.complexity(), ComplexityClass::kConstant) << result.summary();
+}
+
+TEST(LiftedUndirectedRegression, LiftedSolvabilityIsPreserved) {
+  // The classifier end of the solvability round-trips hardness_test pins:
+  // two_coloring's lift is solvable on paths (odd cycles are the obstacle).
+  const ClassifiedProblem result =
+      classify_lift(catalog::two_coloring(Topology::kDirectedPath));
+  EXPECT_TRUE(result.solvability().solvable);
+}
+
+}  // namespace
+}  // namespace lclpath
