@@ -1,0 +1,180 @@
+// Cross-topology synthesis benchmark: for one problem per sub-linear
+// class on each of the four topologies, time one simulated execution of
+// the synthesized algorithm against the Theta(n) gather-all baseline at
+// the same n, and report both radii. `--emit-json[=path]` writes the
+// measurements as machine-readable JSON (default BENCH_synthesized.json;
+// uploaded as a CI artifact like BENCH_linear_gap.json).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "decide/classifier.hpp"
+
+namespace {
+
+using namespace lclpath;
+
+struct SynthMeasurement {
+  std::string problem;
+  std::string topology;
+  std::string complexity;
+  std::string algorithm;
+  std::size_t n = 0;
+  std::size_t synthesized_radius = 0;
+  double synthesized_s = 0;
+  double gather_s = 0;
+  bool valid = false;
+};
+
+std::vector<SynthMeasurement> run_synth_comparison() {
+  std::vector<SynthMeasurement> rows;
+  using clock = std::chrono::steady_clock;
+  const Topology topologies[] = {Topology::kDirectedCycle, Topology::kDirectedPath,
+                                 Topology::kUndirectedCycle, Topology::kUndirectedPath};
+  std::vector<PairwiseProblem> workload;
+  for (Topology t : topologies) {
+    workload.push_back(catalog::coloring(3, t));      // Theta(log* n)
+    workload.push_back(catalog::constant_output(t));  // O(1)
+  }
+  Rng rng(97);
+  for (const PairwiseProblem& problem : workload) {
+    const ClassifiedProblem result = classify(problem);
+    const auto algorithm = result.synthesize();
+    const GatherAllAlgorithm gather(result.problem());
+    // Just above the structured regime where affordable; the heavyweight
+    // undirected O(1) radii fall back to the (still synthesized)
+    // full-view regime so the fixed-cost preamble stays benchable.
+    const std::size_t structured = 2 * algorithm->radius(1 << 20) + 33;
+    const std::size_t n = structured <= 12000 ? structured : 2048;
+    Instance instance = random_instance(problem.topology(), n, problem.num_inputs(), rng);
+
+    SynthMeasurement row;
+    row.problem = problem.name();
+    row.topology = to_string(problem.topology());
+    row.complexity = to_string(result.complexity());
+    row.algorithm = algorithm->name();
+    row.n = n;
+    row.synthesized_radius = algorithm->radius(n);
+    const auto t0 = clock::now();
+    const SimulationResult synth = simulate(*algorithm, problem, instance);
+    const auto t1 = clock::now();
+    const SimulationResult base = simulate(gather, problem, instance);
+    const auto t2 = clock::now();
+    row.synthesized_s = std::chrono::duration<double>(t1 - t0).count();
+    row.gather_s = std::chrono::duration<double>(t2 - t1).count();
+    row.valid = synth.verdict.ok && base.verdict.ok;
+    if (!row.valid) {
+      std::fprintf(stderr, "INVALID OUTPUT on %s (%s)\n", row.problem.c_str(),
+                   row.topology.c_str());
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void print_synth_table(const std::vector<SynthMeasurement>& rows) {
+  std::printf("=== synthesized vs gather-all, per topology ===\n");
+  std::printf("%-18s %-16s %-14s %7s %8s %12s %12s\n", "problem", "topology", "class",
+              "n", "radius", "synthesized", "gather-all");
+  for (const SynthMeasurement& r : rows) {
+    std::printf("%-18s %-16s %-14s %7zu %8zu %11.4fs %11.4fs%s\n", r.problem.c_str(),
+                r.topology.c_str(), r.complexity.c_str(), r.n, r.synthesized_radius,
+                r.synthesized_s, r.gather_s, r.valid ? "" : "  INVALID");
+  }
+  std::printf("(radius is the synthesized view radius; gather-all always uses n.)\n\n");
+}
+
+std::string json_escaped(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void write_synth_json(const std::vector<SynthMeasurement>& rows, const char* path) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(out, "[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SynthMeasurement& r = rows[i];
+    std::fprintf(out,
+                 "  {\"problem\": \"%s\", \"topology\": \"%s\", \"class\": \"%s\", "
+                 "\"algorithm\": \"%s\", \"n\": %zu, \"synthesized_radius\": %zu, "
+                 "\"synthesized_s\": %.6f, \"gather_s\": %.6f, \"valid\": %s}%s\n",
+                 json_escaped(r.problem).c_str(), json_escaped(r.topology).c_str(),
+                 json_escaped(r.complexity).c_str(), json_escaped(r.algorithm).c_str(),
+                 r.n, r.synthesized_radius, r.synthesized_s, r.gather_s,
+                 r.valid ? "true" : "false", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+  std::fclose(out);
+  std::printf("wrote %s (%zu rows)\n\n", path, rows.size());
+}
+
+void SimulateSynthesizedColoringUndirectedCycle(benchmark::State& state) {
+  const PairwiseProblem problem = catalog::coloring(3, Topology::kUndirectedCycle);
+  const ClassifiedProblem result = classify(problem);
+  const auto algorithm = result.synthesize();
+  Rng rng(98);
+  const std::size_t n = 2 * algorithm->radius(1 << 20) + 33;
+  Instance instance = random_instance(problem.topology(), n, problem.num_inputs(), rng);
+  for (auto _ : state) {
+    const auto sim = simulate(*algorithm, problem, instance);
+    if (!sim.verdict.ok) state.SkipWithError("invalid output");
+    benchmark::DoNotOptimize(sim.outputs);
+  }
+  state.SetLabel(algorithm->name() + " n=" + std::to_string(n));
+}
+BENCHMARK(SimulateSynthesizedColoringUndirectedCycle)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --emit-json[=path] is ours, not google-benchmark's; strip it.
+  const char* json_path = nullptr;
+  bool filtered = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--emit-json") == 0) {
+      json_path = "BENCH_synthesized.json";
+    } else if (std::strncmp(argv[i], "--emit-json=", 12) == 0) {
+      json_path = argv[i] + 12;
+    } else {
+      if (std::strstr(argv[i], "--benchmark_filter") != nullptr) filtered = true;
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+
+  // A filtered run wants one benchmark, not the fixed-cost comparison
+  // preamble (same convention as bench_gap_scaling).
+  if (filtered && json_path == nullptr) {
+    benchmark::Initialize(&filtered_argc, args.data());
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+  }
+
+  const std::vector<SynthMeasurement> rows = run_synth_comparison();
+  print_synth_table(rows);
+  if (json_path != nullptr) write_synth_json(rows, json_path);
+  int exit_code = 0;
+  for (const SynthMeasurement& r : rows) {
+    // An invalid synthesized output must fail the process (CI runs this
+    // binary as its own step), not just leave a line in the log.
+    if (!r.valid) exit_code = 1;
+  }
+
+  benchmark::Initialize(&filtered_argc, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  return exit_code;
+}

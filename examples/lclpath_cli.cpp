@@ -127,14 +127,17 @@ int classify_and_report(const lclpath::PairwiseProblem& problem, bool run_sample
               result.linear_certificate().feasible ? "yes" : "no",
               result.const_certificate().feasible ? "yes" : "no");
   if (!run_sample) return 0;
+  // Synthesis covers all four topologies; the algorithm name carries the
+  // per-topology strategy that was chosen (e.g. "[undirected-path]").
   const auto algorithm = result.synthesize();
+  std::printf("  synthesized algorithm: %s, radius %zu at n = 2^20\n",
+              algorithm->name().c_str(), algorithm->radius(1 << 20));
   Rng rng(42);
   const std::size_t n =
       std::min<std::size_t>(4096, 2 * algorithm->radius(1 << 20) + 33);
   Instance instance = random_instance(problem.topology(), n, problem.num_inputs(), rng);
   const SimulationResult sim = simulate(*algorithm, problem, instance);
-  std::printf("  sample run: algorithm '%s', n = %zu, radius = %zu, output %s\n",
-              algorithm->name().c_str(), n, sim.radius,
+  std::printf("  sample run: n = %zu, radius = %zu, output %s\n", n, sim.radius,
               sim.verdict.ok ? "valid" : ("INVALID (" + sim.verdict.reason + ")").c_str());
   return sim.verdict.ok ? 0 : 1;
 }

@@ -15,15 +15,9 @@ std::unique_ptr<LocalAlgorithm> ClassifiedProblem::synthesize() const {
                                   : std::string("?")) +
                              " has no valid labeling)");
     case ComplexityClass::kConstant:
-      if (problem_->topology() == Topology::kDirectedCycle) {
-        return std::make_unique<SynthesizedConstant>(*monoid_, const_);
-      }
-      break;
+      return std::make_unique<SynthesizedConstant>(*monoid_, const_);
     case ComplexityClass::kLogStar:
-      if (problem_->topology() == Topology::kDirectedCycle) {
-        return std::make_unique<SynthesizedLogStar>(*monoid_, linear_);
-      }
-      break;
+      return std::make_unique<SynthesizedLogStar>(*monoid_, linear_);
     case ComplexityClass::kLinear:
       break;
   }

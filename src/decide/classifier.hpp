@@ -12,9 +12,9 @@
 //
 // The result bundles the certificates, which are exactly the "description
 // of an asymptotically optimal algorithm" the paper's theorems promise:
-// synthesize() turns them into a runnable LocalAlgorithm (directed cycles;
-// other topologies fall back to the Theta(n) baseline for execution while
-// the classification itself is exact).
+// synthesize() turns them into a runnable LocalAlgorithm on the problem's
+// own topology — directed or undirected, path or cycle (the per-topology
+// strategies live in decide/synthesized.hpp).
 #pragma once
 
 #include <memory>
@@ -53,12 +53,12 @@ class ClassifiedProblem {
   std::size_t monoid_size() const { return monoid_->size(); }
   std::size_t ell_pump() const { return monoid_->ell_pump(); }
 
-  /// An asymptotically optimal executable algorithm for the class:
-  ///   kConstant  -> SynthesizedConstant   (directed cycles)
-  ///   kLogStar   -> SynthesizedLogStar    (directed cycles)
+  /// An asymptotically optimal executable algorithm for the class, on the
+  /// problem's own topology (all four are synthesized):
+  ///   kConstant  -> SynthesizedConstant
+  ///   kLogStar   -> SynthesizedLogStar
   ///   kLinear    -> GatherAllAlgorithm
-  /// Throws for kUnsolvable. Non-directed-cycle topologies return the
-  /// gather-all baseline (classification is still exact; see DESIGN.md).
+  /// Throws for kUnsolvable.
   std::unique_ptr<LocalAlgorithm> synthesize() const;
 
   /// One-line human-readable summary.

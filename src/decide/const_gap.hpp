@@ -29,8 +29,11 @@
 // For undirected topologies the physical placement of a pattern's labeling
 // may be reversed relative to a neighbor; choices are made per
 // {element, reversed element} orbit with the reversed labeling fixed to
-// the reverse of the forward one (the synthesized algorithm canonicalizes
-// pattern direction), and all four placement combos are checked.
+// the reverse of the forward one, and all four placement combos are
+// checked. The synthesized O(1) algorithm realizes exactly those combos:
+// it reads each pattern in the direction of its Lemma 19 ell-orientation
+// run, so regions of opposite local orientation meet through the reversed
+// signatures this decider verified (see decide/synthesized.hpp).
 //
 // Path topologies additionally require end-segment completability:
 // row(sig) * N(S_end) nonempty for every reachable suffix element, and

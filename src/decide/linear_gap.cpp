@@ -16,6 +16,16 @@ std::size_t BlockPointHash::operator()(const BlockPoint& p) const {
   return h;
 }
 
+BlockPoint BlockPoint::reversed(const Monoid& monoid) const {
+  BlockKind k = kind;
+  if (k == BlockKind::kLeftEnd) {
+    k = BlockKind::kRightEnd;
+  } else if (k == BlockKind::kRightEnd) {
+    k = BlockKind::kLeftEnd;
+  }
+  return BlockPoint{k, monoid.reversed_index(right), s1, s0, monoid.reversed_index(left)};
+}
+
 BlockValue LinearGapCertificate::value_at(const BlockPoint& point) const {
   auto it = index.find(point);
   if (it == index.end()) {
@@ -748,12 +758,7 @@ LinearGapCertificate decide_pairwise(const Monoid& monoid) {
       search.rho[i] = i;
       continue;
     }
-    const BlockPoint& p = search.domain[i];
-    BlockKind kind = p.kind;
-    if (kind == BlockKind::kLeftEnd) kind = BlockKind::kRightEnd;
-    else if (kind == BlockKind::kRightEnd) kind = BlockKind::kLeftEnd;
-    BlockPoint r{kind, monoid.reversed_index(p.right), p.s1, p.s0,
-                 monoid.reversed_index(p.left)};
+    const BlockPoint r = search.domain[i].reversed(monoid);
     auto it = point_index.find(r);
     if (it == point_index.end()) {
       throw std::logic_error("decide_linear_gap: reversed point missing from domain");

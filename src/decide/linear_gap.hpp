@@ -62,6 +62,14 @@ struct BlockPoint {
   std::size_t right = 0;  ///< monoid element of the right context (suffix for kRightEnd)
 
   bool operator==(const BlockPoint&) const = default;
+
+  /// The same physical block read in the opposite direction: contexts
+  /// swap and reverse (via the monoid's reversal map), the block inputs
+  /// swap, and end kinds trade places. The undirected synthesis
+  /// strategies look up a block whose local orientation opposes the
+  /// window presentation through this point — exactly the reversed
+  /// placements the undirected deciders quantify over.
+  BlockPoint reversed(const Monoid& monoid) const;
 };
 
 struct BlockPointHash {

@@ -11,135 +11,342 @@ namespace lclpath {
 
 namespace {
 
-/// Canonical whole-cycle solve for small n: all nodes see everything and
-/// agree on the rotation anchored at the minimum ID.
-Label solve_full_cycle(const PairwiseProblem& problem, const View& view) {
-  if (view.size() != view.n) {
-    throw std::logic_error("synthesized: expected a full-cycle view");
-  }
-  const std::size_t anchor = static_cast<std::size_t>(
-      std::min_element(view.ids.begin(), view.ids.end()) - view.ids.begin());
-  Word canonical(view.n);
-  for (std::size_t k = 0; k < view.n; ++k) canonical[k] = view.inputs[(anchor + k) % view.n];
-  auto solution = solve_by_dp(problem, canonical);
-  if (!solution) throw std::runtime_error("synthesized: unsolvable instance");
-  return (*solution)[(view.n - anchor + view.center) % view.n];
-}
-
-PairwiseProblem as_path(const PairwiseProblem& problem) {
+/// Path-shaped problem copy with the endpoint rules selectively kept.
+/// Interior completions must not fire the first/last rules; completions
+/// that touch a true path end keep exactly the rule anchored there.
+PairwiseProblem path_variant(const PairwiseProblem& problem, bool keep_first,
+                             bool keep_last) {
   PairwiseProblem p = problem;
   p.set_topology(Topology::kDirectedPath);
+  if (!keep_first) p.clear_first_constraint();
+  if (!keep_last) p.clear_last_mask();
   return p;
+}
+
+/// complete_by_dp over the sub-word, optionally processed right-to-left.
+/// The result is always aligned with the input order. Reversed processing
+/// is only used on orientation-symmetric problems with the endpoint rules
+/// stripped, where a labeling is valid independently of the direction.
+std::optional<Word> complete_oriented(const PairwiseProblem& problem, Word sub,
+                                      std::vector<std::optional<Label>> fixed,
+                                      bool reverse) {
+  if (!reverse) return complete_by_dp(problem, sub, fixed);
+  std::reverse(sub.begin(), sub.end());
+  std::reverse(fixed.begin(), fixed.end());
+  auto completion = complete_by_dp(problem, sub, fixed);
+  if (completion) std::reverse(completion->begin(), completion->end());
+  return completion;
 }
 
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// SynthesizedLogStar (Lemma 17)
+// SynthesisStrategy
+// ---------------------------------------------------------------------------
+
+SynthesisStrategy::SynthesisStrategy(const PairwiseProblem& problem)
+    : topology_(problem.topology()),
+      interior_(path_variant(problem, false, false)),
+      prefix_(path_variant(problem, true, false)),
+      suffix_(path_variant(problem, false, true)),
+      full_path_(path_variant(problem, true, true)) {}
+
+const char* SynthesisStrategy::name() const {
+  switch (topology_) {
+    case Topology::kDirectedCycle: return "directed-cycle";
+    case Topology::kDirectedPath: return "directed-path";
+    case Topology::kUndirectedCycle: return "undirected-cycle";
+    case Topology::kUndirectedPath: return "undirected-path";
+  }
+  return "?";
+}
+
+std::size_t SynthesisStrategy::orientation_margin(std::size_t orient_ell) const {
+  return directed() ? 0 : orientation_window_margin(orient_ell);
+}
+
+std::vector<SynthesisStrategy::Segment> SynthesisStrategy::segments(
+    const View& view, std::size_t orient_ell) const {
+  const std::size_t len = view.size();
+  std::vector<Segment> out;
+  const bool left_end = !cycle() && view.sees_left_end;
+  const bool right_end = !cycle() && view.sees_right_end;
+  if (directed()) {
+    out.push_back(Segment{0, len, Direction::kForward, left_end, right_end});
+    return out;
+  }
+  const std::vector<Direction> dir = orientation_directions_window(view.ids, orient_ell);
+  std::size_t start = 0;
+  for (std::size_t i = 1; i <= len; ++i) {
+    if (i < len && dir[i] == dir[start]) continue;
+    Segment seg;
+    seg.begin = start;
+    seg.end = i;
+    seg.dir = dir[start];
+    seg.left_real = start > 0 || left_end;
+    seg.right_real = i < len || right_end;
+    out.push_back(seg);
+    start = i;
+  }
+  return out;
+}
+
+bool SynthesisStrategy::dp_reversed(const View& view, std::size_t lo,
+                                    std::size_t hi) const {
+  if (directed()) return false;
+  return view.ids[hi] < view.ids[lo];
+}
+
+// ---------------------------------------------------------------------------
+// SynthesizedLogStar (Lemma 17, all four topologies)
 // ---------------------------------------------------------------------------
 
 SynthesizedLogStar::SynthesizedLogStar(const Monoid& monoid,
                                        const LinearGapCertificate& certificate)
-    : monoid_(&monoid), cert_(&certificate) {
+    : monoid_(&monoid),
+      cert_(&certificate),
+      strategy_(monoid.transitions().problem()) {
   if (!certificate.feasible) {
     throw std::invalid_argument("SynthesizedLogStar: certificate is infeasible");
   }
-  const std::size_t min_gap = 2 * certificate.ell_ctx + 6;
+  ell_ = certificate.ell_ctx;
+  const std::size_t min_gap = 2 * ell_ + 6;
   gap_ = ruling_min_gap(min_gap);
   radius_ = ruling_radius(min_gap) + 6 * gap_ + 16;
+  if (!strategy_.cycle()) radius_ += ell_ + 2 * gap_ + 16;
+  if (!strategy_.directed()) {
+    // Flips are >= orient_ell apart, so every uniformly-oriented segment
+    // is long enough to keep a ruling member after the flip-margin drops.
+    orient_ell_ = 4 * gap_ + 3;
+    radius_ += strategy_.orientation_margin(orient_ell_) + orient_ell_ + 20 * gap_;
+  }
 }
 
 std::size_t SynthesizedLogStar::radius(std::size_t /*n*/) const { return radius_; }
 
+namespace {
+
+/// A placed separator block: nodes (anchor, anchor + 1) in presentation
+/// order, labeled through the feasible function read in `dir`.
+struct PlacedBlock {
+  std::size_t anchor = 0;
+  BlockKind kind = BlockKind::kInterior;
+  Direction dir = Direction::kForward;
+};
+
+/// The log* window layout: end blocks + per-segment ruling blocks, plus
+/// the label extraction (certificate lookups and DP completions).
+class LogStarLayout {
+ public:
+  LogStarLayout(const Monoid& monoid, const LinearGapCertificate& cert,
+                const SynthesisStrategy& strategy, const View& view, std::size_t ell,
+                std::size_t gap, std::size_t orient_ell)
+      : monoid_(monoid), cert_(cert), strategy_(strategy), view_(view), ell_(ell) {
+    const std::size_t len = view.size();
+    const std::size_t min_gap = 2 * ell + 6;
+    const std::size_t h_flip = gap;           // keep blocks clear of flips
+    const std::size_t h_end = ell + gap + 2;  // and of the end blocks' zone
+    const bool path = !strategy.cycle();
+
+    for (const SynthesisStrategy::Segment& seg : strategy.segments(view, orient_ell)) {
+      const bool fwd = seg.dir == Direction::kForward;
+      std::vector<NodeId> sub(view.ids.begin() + static_cast<std::ptrdiff_t>(seg.begin),
+                              view.ids.begin() + static_cast<std::ptrdiff_t>(seg.end));
+      if (!fwd) std::reverse(sub.begin(), sub.end());
+      const bool sub_left_real = fwd ? seg.left_real : seg.right_real;
+      const bool sub_right_real = fwd ? seg.right_real : seg.left_real;
+      const std::vector<char> member =
+          ruling_members_segment(sub, min_gap, sub_left_real, sub_right_real);
+      const bool left_is_path_end = path && seg.begin == 0 && view.sees_left_end;
+      const bool right_is_path_end = path && seg.end == len && view.sees_right_end;
+      const std::size_t need_left =
+          seg.left_real ? (left_is_path_end ? h_end : h_flip) : 0;
+      const std::size_t need_right =
+          seg.right_real ? (right_is_path_end ? h_end : h_flip) : 0;
+      for (std::size_t i = 0; i < sub.size(); ++i) {
+        if (!member[i]) continue;
+        const std::size_t p = fwd ? seg.begin + i : seg.end - 1 - i;
+        if (!fwd && p == 0) continue;
+        const std::size_t anchor = fwd ? p : p - 1;
+        if (anchor < seg.begin || anchor + 1 >= seg.end) continue;
+        if (anchor - seg.begin < need_left) continue;
+        if (seg.end - anchor - 2 < need_right) continue;
+        blocks_.push_back(PlacedBlock{anchor, BlockKind::kInterior, seg.dir});
+      }
+    }
+    if (path && view.sees_left_end) {
+      blocks_.push_back(PlacedBlock{ell, BlockKind::kLeftEnd, Direction::kForward});
+    }
+    if (path && view.sees_right_end) {
+      blocks_.push_back(
+          PlacedBlock{len - ell - 2, BlockKind::kRightEnd, Direction::kForward});
+    }
+    std::sort(blocks_.begin(), blocks_.end(),
+              [](const PlacedBlock& a, const PlacedBlock& b) { return a.anchor < b.anchor; });
+  }
+
+  Label label_at(std::size_t c) const {
+    const std::size_t len = view_.size();
+    const bool path = !strategy_.cycle();
+    if (path && view_.sees_left_end && c < ell_) return end_completion(c, true);
+    if (path && view_.sees_right_end && c >= len - ell_) return end_completion(c, false);
+
+    // The first block at or after c.
+    std::size_t hi = blocks_.size();
+    std::size_t lo = 0;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (blocks_[mid].anchor + 1 < c) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo < blocks_.size() && blocks_[lo].anchor <= c) {
+      const auto [la, lb] = block_labels(lo);
+      return c == blocks_[lo].anchor ? la : lb;
+    }
+    if (lo == 0 || lo == blocks_.size()) {
+      throw std::logic_error("logstar: no enclosing blocks in window");
+    }
+    // Between blocks lo-1 and lo: complete the sub-path with the four
+    // block labels fixed.
+    const PlacedBlock& u = blocks_[lo - 1];
+    const PlacedBlock& w = blocks_[lo];
+    const auto [ua, ub] = block_labels(lo - 1);
+    const auto [wa, wb] = block_labels(lo);
+    Word sub(view_.inputs.begin() + static_cast<std::ptrdiff_t>(u.anchor),
+             view_.inputs.begin() + static_cast<std::ptrdiff_t>(w.anchor + 2));
+    std::vector<std::optional<Label>> fixed(sub.size());
+    fixed[0] = ua;
+    fixed[1] = ub;
+    fixed[sub.size() - 2] = wa;
+    fixed[sub.size() - 1] = wb;
+    auto completion =
+        complete_oriented(strategy_.interior(), std::move(sub), std::move(fixed),
+                          strategy_.dp_reversed(view_, u.anchor, w.anchor + 1));
+    if (!completion) {
+      throw std::logic_error("logstar: segment completion failed (gluing violated)");
+    }
+    return (*completion)[c - u.anchor];
+  }
+
+ private:
+  const Monoid& monoid_;
+  const LinearGapCertificate& cert_;
+  const SynthesisStrategy& strategy_;
+  const View& view_;
+  std::size_t ell_;
+  std::vector<PlacedBlock> blocks_;
+
+  /// The left block's share of the inter-block segment of length z. The
+  /// directed rule is positional (presentation-left takes floor(z/2)); the
+  /// undirected rule breaks the tie by anchor IDs so that observers with
+  /// opposite presentations split identically.
+  std::size_t split_share(const PlacedBlock& left, const PlacedBlock& right,
+                          std::size_t z) const {
+    if (strategy_.directed()) return z / 2;
+    return view_.ids[left.anchor] < view_.ids[right.anchor] ? z / 2 : z - z / 2;
+  }
+
+  std::pair<Label, Label> block_labels(std::size_t bi) const {
+    const PlacedBlock& b = blocks_[bi];
+    const Word& in = view_.inputs;
+    Word rear;
+    if (b.kind == BlockKind::kLeftEnd) {
+      rear.assign(in.begin(), in.begin() + static_cast<std::ptrdiff_t>(ell_));
+    } else {
+      if (bi == 0) throw std::logic_error("logstar: no block to the left in window");
+      const PlacedBlock& prev = blocks_[bi - 1];
+      const std::size_t z = b.anchor - prev.anchor - 2;
+      const std::size_t share = split_share(prev, b, z);
+      rear.assign(in.begin() + static_cast<std::ptrdiff_t>(prev.anchor + 2 + share),
+                  in.begin() + static_cast<std::ptrdiff_t>(b.anchor));
+    }
+    Word front;
+    if (b.kind == BlockKind::kRightEnd) {
+      front.assign(in.begin() + static_cast<std::ptrdiff_t>(b.anchor + 2),
+                   in.begin() + static_cast<std::ptrdiff_t>(b.anchor + 2 + ell_));
+    } else {
+      if (bi + 1 >= blocks_.size()) {
+        throw std::logic_error("logstar: no block to the right in window");
+      }
+      const PlacedBlock& next = blocks_[bi + 1];
+      const std::size_t z = next.anchor - b.anchor - 2;
+      const std::size_t share = split_share(b, next, z);
+      front.assign(in.begin() + static_cast<std::ptrdiff_t>(b.anchor + 2),
+                   in.begin() + static_cast<std::ptrdiff_t>(b.anchor + 2 + share));
+    }
+    BlockPoint point;
+    point.kind = b.kind;
+    point.left = monoid_.of_word(rear);
+    point.s0 = in[b.anchor];
+    point.s1 = in[b.anchor + 1];
+    point.right = monoid_.of_word(front);
+    if (b.dir == Direction::kBackward) point = point.reversed(monoid_);
+    const BlockValue value = cert_.value_at(point);
+    if (b.dir == Direction::kBackward) return {value.b, value.a};
+    return {value.a, value.b};
+  }
+
+  /// Prefix/suffix completion against the true path end, with the end
+  /// block's labels fixed (existence is the certificate's endpoint
+  /// filter on kLeftEnd/kRightEnd candidates).
+  Label end_completion(std::size_t c, bool left) const {
+    const std::size_t len = view_.size();
+    const std::size_t anchor = left ? ell_ : len - ell_ - 2;
+    std::size_t bi = blocks_.size();
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+      if (blocks_[i].anchor == anchor &&
+          blocks_[i].kind == (left ? BlockKind::kLeftEnd : BlockKind::kRightEnd)) {
+        bi = i;
+        break;
+      }
+    }
+    if (bi == blocks_.size()) throw std::logic_error("logstar: end block missing");
+    const auto [la, lb] = block_labels(bi);
+    const std::size_t lo = left ? 0 : anchor;
+    const std::size_t hi = left ? ell_ + 2 : len;  // exclusive
+    Word sub(view_.inputs.begin() + static_cast<std::ptrdiff_t>(lo),
+             view_.inputs.begin() + static_cast<std::ptrdiff_t>(hi));
+    std::vector<std::optional<Label>> fixed(sub.size());
+    fixed[anchor - lo] = la;
+    fixed[anchor + 1 - lo] = lb;
+    auto completion =
+        complete_by_dp(left ? strategy_.prefix() : strategy_.suffix(), sub, fixed);
+    if (!completion) {
+      throw std::logic_error("logstar: end completion failed (endpoint filter violated)");
+    }
+    return (*completion)[c - lo];
+  }
+};
+
+}  // namespace
+
 Label SynthesizedLogStar::run(const View& view) const {
   const PairwiseProblem& problem = monoid_->transitions().problem();
-  if (!is_cycle(view.topology) || !is_directed(view.topology)) {
-    throw std::invalid_argument("SynthesizedLogStar: directed cycles only");
+  if (view.topology != strategy_.topology()) {
+    throw std::invalid_argument("SynthesizedLogStar: view topology mismatch");
   }
-  if (view.size() == view.n) return solve_full_cycle(problem, view);
+  const bool full = strategy_.cycle() ? view.size() == view.n : view.n <= radius_ + 1;
+  if (full) return solve_full_view(problem, view);
   return run_large(view);
 }
 
 Label SynthesizedLogStar::run_large(const View& view) const {
-  const PairwiseProblem& problem = monoid_->transitions().problem();
-  const std::size_t min_gap = 2 * cert_->ell_ctx + 6;
-  const std::vector<char> member = ruling_members_window(view.ids, min_gap);
-  const std::size_t len = view.size();
-  const std::size_t c = view.center;
-
-  // Member positions around the center (trusted: margins sized in ctor).
-  auto prev_member = [&](std::size_t from) -> std::size_t {
-    for (std::size_t i = from;; --i) {
-      if (member[i]) return i;
-      if (i == 0) throw std::logic_error("logstar: no member to the left in window");
-    }
-  };
-  auto next_member = [&](std::size_t from) -> std::size_t {
-    for (std::size_t i = from; i < len; ++i) {
-      if (member[i]) return i;
-    }
-    throw std::logic_error("logstar: no member to the right in window");
-  };
-
-  // The feasible-function value of the block anchored at member position v
-  // (block nodes: v, v + 1), from the half-segment contexts.
-  auto block_value = [&](std::size_t v) -> BlockValue {
-    const std::size_t left_member = prev_member(v - 1);
-    const std::size_t right_member = next_member(v + 2);
-    // Left B-segment: (left_member + 2 .. v - 1]; its right half is w1.
-    const std::size_t zb_left = v - left_member - 2;
-    const std::size_t half_left = zb_left / 2;
-    Word w1(view.inputs.begin() + static_cast<std::ptrdiff_t>(left_member + 2 + half_left),
-            view.inputs.begin() + static_cast<std::ptrdiff_t>(v));
-    // Right B-segment: [v + 2 .. right_member - 1]; its left half is w2.
-    const std::size_t zb_right = right_member - v - 2;
-    const std::size_t half_right = zb_right / 2;
-    Word w2(view.inputs.begin() + static_cast<std::ptrdiff_t>(v + 2),
-            view.inputs.begin() + static_cast<std::ptrdiff_t>(v + 2 + half_right));
-    BlockPoint point;
-    point.kind = BlockKind::kInterior;
-    point.left = monoid_->of_word(w1);
-    point.s0 = view.inputs[v];
-    point.s1 = view.inputs[v + 1];
-    point.right = monoid_->of_word(w2);
-    return cert_->value_at(point);
-  };
-
-  // Which block/segment does the center belong to?
-  if (member[c]) {
-    return block_value(c).a;
-  }
-  if (c > 0 && member[c - 1]) {
-    return block_value(c - 1).b;
-  }
-  // Center lies in a B-segment between the blocks at members u and w.
-  const std::size_t u = prev_member(c);
-  const std::size_t w = next_member(c);
-  const BlockValue left_value = block_value(u);
-  const BlockValue right_value = block_value(w);
-  // Complete the sub-path [u .. w + 1] with the four block labels fixed.
-  const Word sub(view.inputs.begin() + static_cast<std::ptrdiff_t>(u),
-                 view.inputs.begin() + static_cast<std::ptrdiff_t>(w + 2));
-  std::vector<std::optional<Label>> fixed(sub.size());
-  fixed[0] = left_value.a;
-  fixed[1] = left_value.b;
-  fixed[sub.size() - 2] = right_value.a;
-  fixed[sub.size() - 1] = right_value.b;
-  const PairwiseProblem path_problem = as_path(problem);
-  auto completion = complete_by_dp(path_problem, sub, fixed);
-  if (!completion) {
-    throw std::logic_error("logstar: segment completion failed (gluing violated)");
-  }
-  return (*completion)[c - u];
+  const LogStarLayout layout(*monoid_, *cert_, strategy_, view, ell_, gap_, orient_ell_);
+  return layout.label_at(view.center);
 }
 
 // ---------------------------------------------------------------------------
-// SynthesizedConstant (Lemma 27)
+// SynthesizedConstant (Lemma 27, all four topologies)
 // ---------------------------------------------------------------------------
 
 SynthesizedConstant::SynthesizedConstant(const Monoid& monoid,
                                          const ConstGapCertificate& certificate)
-    : monoid_(&monoid), cert_(&certificate) {
+    : monoid_(&monoid),
+      cert_(&certificate),
+      strategy_(monoid.transitions().problem()) {
   if (!certificate.feasible) {
     throw std::invalid_argument("SynthesizedConstant: certificate is infeasible");
   }
@@ -148,33 +355,34 @@ SynthesizedConstant::SynthesizedConstant(const Monoid& monoid,
   scale_ = (2 * ell_ + 6) * p0;     // L0: periodic-run threshold at max period
   domin_ = (monoid.transitions().num_inputs() + 2) * scale_;  // seed domination D
   radius_ = 7 * domin_ + 10 * scale_ + 64;
-}
-
-Label SynthesizedConstant::run(const View& view) const {
-  const PairwiseProblem& problem = monoid_->transitions().problem();
-  if (!is_cycle(view.topology) || !is_directed(view.topology)) {
-    throw std::invalid_argument("SynthesizedConstant: directed cycles only");
+  if (!strategy_.cycle()) radius_ += 2 * scale_ + 64;
+  if (!strategy_.directed()) {
+    // Runs must be long enough that each contains anchors (a periodic
+    // region or a pumpable chunk shows up in every D + O(L0) stretch), so
+    // consecutive anchors — also across flips — stay within the window.
+    orient_ell_ = domin_ + 4 * scale_ + 64;
+    radius_ += strategy_.orientation_margin(orient_ell_) + 2 * scale_ + 64;
   }
-  if (view.size() == view.n) return solve_full_cycle(problem, view);
-  return run_large(view);
 }
 
 namespace {
 
-/// Per-window analysis for the O(1) algorithm. All coordinates are
-/// window-relative; structures are content-determined, hence identical
-/// across the overlapping windows of nearby nodes.
+/// Per-segment analysis for the O(1) algorithm, on the segment's input
+/// word read in segment direction. All coordinates are sub-word-relative;
+/// structures are content-determined, hence identical across the
+/// overlapping windows of nearby nodes.
 struct ConstAnalysis {
   const Monoid& monoid;
   const TransitionSystem& ts;
   const PairwiseProblem& problem;
   const ConstGapCertificate& cert;
-  const Word& in;
+  Word in;
   std::size_t len;
-  std::size_t ell, p0, buffer_blocks, pump_blocks, scale, domin;
+  std::size_t ell, p0, buffer_blocks, scale, domin;
 
   /// Periodic-region claims: period[i] = claimed primitive period (0 if
-  /// none); run_begin/run_end[i] = maximal run extent (clipped at window).
+  /// none); run_begin/run_end[i] = maximal run extent (clipped at the
+  /// segment).
   std::vector<std::size_t> period, run_begin, run_end;
   /// anchored[i]: inside a claimed region, at least buffer_blocks * q from
   /// both visible run ends.
@@ -184,18 +392,17 @@ struct ConstAnalysis {
   /// Seed flags (chunk boundaries in irregular zones).
   std::vector<char> seed;
 
-  ConstAnalysis(const Monoid& m, const ConstGapCertificate& c, const Word& inputs,
+  ConstAnalysis(const Monoid& m, const ConstGapCertificate& c, Word inputs,
                 std::size_t ell_pump, std::size_t scale_in, std::size_t domin_in)
       : monoid(m),
         ts(m.transitions()),
         problem(m.transitions().problem()),
         cert(c),
-        in(inputs),
-        len(inputs.size()),
+        in(std::move(inputs)),
+        len(in.size()),
         ell(ell_pump),
         p0(ell_pump + 3),
         buffer_blocks(ell_pump + 1),
-        pump_blocks(2 * ell_pump + 8),
         scale(scale_in),
         domin(domin_in) {
     find_periodic_regions();
@@ -304,7 +511,7 @@ struct ConstAnalysis {
 
   void find_seeds() {
     seed.assign(len, 0);
-    // Candidate positions: window fully inside the window and fully
+    // Candidate positions: window fully inside the segment and fully
     // unclaimed (irregular zone).
     std::vector<char> candidate(len, 0);
     {
@@ -342,80 +549,132 @@ struct ConstAnalysis {
 struct VirtualEntry {
   Label input = 0;
   std::optional<Label> fixed;
-  std::ptrdiff_t real = -1;  ///< window position, or -1 for pumped inserts
+  std::ptrdiff_t real = -1;  ///< presentation position, or -1 for pumped inserts
 };
 
-}  // namespace
+constexpr std::size_t kUnmapped = static_cast<std::size_t>(-1);
 
-Label SynthesizedConstant::run_large(const View& view) const {
-  const PairwiseProblem& problem = monoid_->transitions().problem();
-  ConstAnalysis az(*monoid_, *cert_, view.inputs, ell_, scale_, domin_);
-  const std::size_t len = view.size();
-  const std::size_t c = view.center;
+/// The whole-window O(1) layout: per-segment analyses stitched into one
+/// presentation-ordered virtual sequence, plus the completions.
+class ConstLayout {
+ public:
+  ConstLayout(const Monoid& monoid, const ConstGapCertificate& cert,
+              const SynthesisStrategy& strategy, const View& view, std::size_t ell,
+              std::size_t scale, std::size_t domin, std::size_t orient_ell)
+      : monoid_(monoid), cert_(cert), strategy_(strategy), view_(view), ell_(ell) {
+    const std::size_t len = view.size();
+    v_of_real_.assign(len, kUnmapped);
 
-  if (az.anchored[c]) return az.anchor_label[c];
-
-  // Chunks: [seed_j, seed_{j+1}) within irregular stretches; interiors
-  // (chunk minus 2-node joints on each side) of length >= ell + 1 are
-  // pumped and virtually anchored.
-  // Identify the chunk interiors intersecting the window.
-  struct Interior {
-    std::size_t begin, end;          // real window positions [begin, end)
-    PumpDecomposition pump;          // interior = x y z
-    Word y_labeling;                 // chosen periodic labeling of y
-  };
-  std::vector<Interior> interiors;
-  {
-    std::vector<std::size_t> seeds;
-    for (std::size_t i = 0; i < len; ++i) {
-      if (az.seed[i]) seeds.push_back(i);
+    for (const SynthesisStrategy::Segment& seg : strategy.segments(view, orient_ell)) {
+      const bool fwd = seg.dir == Direction::kForward;
+      Word sub(view.inputs.begin() + static_cast<std::ptrdiff_t>(seg.begin),
+               view.inputs.begin() + static_cast<std::ptrdiff_t>(seg.end));
+      if (!fwd) std::reverse(sub.begin(), sub.end());
+      const ConstAnalysis az(monoid, cert, std::move(sub), ell, scale, domin);
+      append_segment(seg, az);
     }
-    for (std::size_t j = 0; j + 1 < seeds.size(); ++j) {
-      const std::size_t cb = seeds[j];
-      const std::size_t ce = seeds[j + 1];
-      if (ce - cb < ell_ + 5) continue;  // interior too short to pump
-      Interior interior;
-      interior.begin = cb + 2;
-      interior.end = ce - 2;
-      const Word word(view.inputs.begin() + static_cast<std::ptrdiff_t>(interior.begin),
-                      view.inputs.begin() + static_cast<std::ptrdiff_t>(interior.end));
-      auto pump = pump_decomposition(*monoid_, word);
-      if (!pump) {
-        throw std::logic_error("constant: chunk interior not pumpable");
-      }
-      interior.pump = *pump;
-      interior.y_labeling = az.periodic_labeling(interior.pump.y);
-      interiors.push_back(std::move(interior));
+    for (std::size_t vi = 0; vi < vseq_.size(); ++vi) {
+      if (vseq_[vi].real >= 0) v_of_real_[static_cast<std::size_t>(vseq_[vi].real)] = vi;
     }
   }
-  auto interior_of = [&](std::size_t pos) -> const Interior* {
-    for (const Interior& it : interiors) {
-      if (pos >= it.begin && pos < it.end) return &it;
+
+  Label label_at(std::size_t c) const {
+    for (const Interior& interior : interiors_) {
+      if (c >= interior.begin && c < interior.end) return pull_back(interior, c);
     }
-    return nullptr;
+    const std::size_t vi = v_of_real_[c];
+    if (vi == kUnmapped) {
+      throw std::logic_error("constant: center position missing from the virtual sequence");
+    }
+    return complete_gap_at(vi);
+  }
+
+ private:
+  struct Interior {
+    std::size_t begin = 0, end = 0;  // presentation positions [begin, end)
+    Direction dir = Direction::kForward;
   };
 
-  // Build the virtual sequence over the whole window.
-  std::vector<VirtualEntry> vseq;
-  vseq.reserve(2 * len);
-  std::vector<std::size_t> v_of_real(len, 0);
-  {
+  const Monoid& monoid_;
+  const ConstGapCertificate& cert_;
+  const SynthesisStrategy& strategy_;
+  const View& view_;
+  std::size_t ell_;
+  std::vector<VirtualEntry> vseq_;
+  std::vector<std::size_t> v_of_real_;
+  std::vector<Interior> interiors_;
+
+  void append_segment(const SynthesisStrategy::Segment& seg, const ConstAnalysis& az) {
+    const bool fwd = seg.dir == Direction::kForward;
+    auto present = [&](std::size_t sub_pos) {
+      return fwd ? seg.begin + sub_pos : seg.end - 1 - sub_pos;
+    };
+
+    // Chunk interiors: [seed_j + 2, seed_{j+1} - 2) within irregular
+    // stretches, pumped and virtually anchored when long enough.
+    struct SubInterior {
+      std::size_t begin, end;  // sub coordinates
+      PumpDecomposition pump;
+      Word y_labeling;
+    };
+    std::vector<SubInterior> interiors;
+    {
+      std::vector<std::size_t> seeds;
+      for (std::size_t i = 0; i < az.len; ++i) {
+        if (az.seed[i]) seeds.push_back(i);
+      }
+      for (std::size_t j = 0; j + 1 < seeds.size(); ++j) {
+        const std::size_t cb = seeds[j];
+        const std::size_t ce = seeds[j + 1];
+        if (ce - cb < ell_ + 5) continue;  // interior too short to pump
+        // Chunks live in irregular stretches only: a seed pair straddling
+        // a claimed periodic run must not be pumped (it would swallow the
+        // run's anchors and leave everything beyond the pumped middle
+        // unanchored). The run's own anchors bound those gaps instead.
+        bool irregular = true;
+        for (std::size_t k = cb; k < ce && irregular; ++k) irregular = az.period[k] == 0;
+        if (!irregular) continue;
+        SubInterior interior;
+        interior.begin = cb + 2;
+        interior.end = ce - 2;
+        const Word word(az.in.begin() + static_cast<std::ptrdiff_t>(interior.begin),
+                        az.in.begin() + static_cast<std::ptrdiff_t>(interior.end));
+        auto pump = pump_decomposition(monoid_, word);
+        if (!pump) {
+          throw std::logic_error("constant: chunk interior not pumpable");
+        }
+        interior.pump = *pump;
+        interior.y_labeling = az.periodic_labeling(interior.pump.y);
+        interiors.push_back(std::move(interior));
+      }
+    }
+    auto interior_of = [&](std::size_t pos) -> const SubInterior* {
+      for (const SubInterior& it : interiors) {
+        if (pos >= it.begin && pos < it.end) return &it;
+      }
+      return nullptr;
+    };
+
+    // Build the segment's virtual entries in segment order, then flip them
+    // into presentation order for backward segments.
+    std::vector<VirtualEntry> entries;
+    entries.reserve(2 * az.len);
     std::size_t i = 0;
-    while (i < len) {
-      const Interior* interior = interior_of(i);
+    while (i < az.len) {
+      const SubInterior* interior = interior_of(i);
       if (interior == nullptr) {
         VirtualEntry e;
-        e.input = view.inputs[i];
-        e.real = static_cast<std::ptrdiff_t>(i);
+        e.input = az.in[i];
+        e.real = static_cast<std::ptrdiff_t>(present(i));
         if (az.anchored[i]) e.fixed = az.anchor_label[i];
-        v_of_real[i] = vseq.size();
-        vseq.push_back(e);
+        entries.push_back(e);
         ++i;
         continue;
       }
       // Emit the pumped interior: x, y^K (with the middle blocks fixed to
-      // the periodic labeling), z. Real positions map to the x/z parts for
-      // bookkeeping; inserted nodes carry real = -1.
+      // the periodic labeling), z. Real positions map to the x/z parts;
+      // inserted nodes carry real = -1; the pumped-away middle stays
+      // unmapped (it is never queried directly — pull-back covers it).
       const std::size_t k_blocks = 2 * ell_ + 8;
       const Word& x = interior->pump.x;
       const Word& y = interior->pump.y;
@@ -423,9 +682,8 @@ Label SynthesizedConstant::run_large(const View& view) const {
       for (std::size_t t = 0; t < x.size(); ++t) {
         VirtualEntry e;
         e.input = x[t];
-        e.real = static_cast<std::ptrdiff_t>(interior->begin + t);
-        v_of_real[interior->begin + t] = vseq.size();
-        vseq.push_back(e);
+        e.real = static_cast<std::ptrdiff_t>(present(interior->begin + t));
+        entries.push_back(e);
       }
       for (std::size_t b = 0; b < k_blocks; ++b) {
         const bool anchored_block = b >= ell_ + 2 && b + ell_ + 2 < k_blocks;
@@ -434,75 +692,131 @@ Label SynthesizedConstant::run_large(const View& view) const {
           e.input = y[t];
           e.real = -1;
           if (anchored_block) e.fixed = interior->y_labeling[t];
-          vseq.push_back(e);
+          entries.push_back(e);
         }
       }
       for (std::size_t t = 0; t < z.size(); ++t) {
         VirtualEntry e;
         e.input = z[t];
-        e.real = static_cast<std::ptrdiff_t>(interior->end - z.size() + t);
-        v_of_real[interior->end - z.size() + t] = vseq.size();
-        vseq.push_back(e);
-      }
-      // Map the remaining interior positions (the pumped-away middle) to
-      // their x-end; they are never queried directly.
-      for (std::size_t t = interior->begin + x.size(); t < interior->end - z.size(); ++t) {
-        v_of_real[t] = v_of_real[interior->begin];
+        e.real = static_cast<std::ptrdiff_t>(present(interior->end - z.size() + t));
+        entries.push_back(e);
       }
       i = interior->end;
     }
+    if (!fwd) std::reverse(entries.begin(), entries.end());
+    vseq_.insert(vseq_.end(), entries.begin(), entries.end());
+
+    for (const SubInterior& interior : interiors) {
+      Interior out;
+      out.dir = seg.dir;
+      if (fwd) {
+        out.begin = seg.begin + interior.begin;
+        out.end = seg.begin + interior.end;
+      } else {
+        out.begin = seg.end - interior.end;
+        out.end = seg.end - interior.begin;
+      }
+      interiors_.push_back(out);
+    }
   }
 
-  const PairwiseProblem path_problem = as_path(problem);
-
-  // Deterministic completion of the maximal unlabeled virtual run that
-  // contains virtual index vi, between the neighboring fixed anchors.
-  auto complete_gap_at = [&](std::size_t vi) -> Label {
-    if (vseq[vi].fixed) return *vseq[vi].fixed;
+  /// Deterministic completion of the maximal unlabeled virtual run that
+  /// contains virtual index vi, between the neighboring fixed anchors (or
+  /// a true path end, where the endpoint rules take over).
+  Label complete_gap_at(std::size_t vi) const {
+    if (vseq_[vi].fixed) return *vseq_[vi].fixed;
     std::size_t a = vi;
-    while (a > 0 && !vseq[a - 1].fixed) --a;
+    while (a > 0 && !vseq_[a - 1].fixed) --a;
     std::size_t b = vi;
-    while (b + 1 < vseq.size() && !vseq[b + 1].fixed) ++b;
-    if (a < 2 || b + 2 >= vseq.size()) {
+    while (b + 1 < vseq_.size() && !vseq_[b + 1].fixed) ++b;
+    const bool path = !strategy_.cycle();
+    const bool left_end_gap = path && view_.sees_left_end && a == 0;
+    const bool right_end_gap = path && view_.sees_right_end && b + 1 == vseq_.size();
+    if ((!left_end_gap && a < 2) || (!right_end_gap && b + 2 >= vseq_.size())) {
       throw std::logic_error("constant: virtual gap not enclosed by anchors in window");
     }
-    const std::size_t lo = a - 2;
-    const std::size_t hi = b + 2;  // inclusive
+    const std::size_t lo = left_end_gap ? 0 : a - 2;
+    const std::size_t hi = right_end_gap ? vseq_.size() - 1 : b + 2;  // inclusive
     Word sub;
     std::vector<std::optional<Label>> fixed;
     for (std::size_t t = lo; t <= hi; ++t) {
-      sub.push_back(vseq[t].input);
-      fixed.push_back(vseq[t].fixed);
+      sub.push_back(vseq_[t].input);
+      fixed.push_back(vseq_[t].fixed);
     }
-    auto completion = complete_by_dp(path_problem, sub, fixed);
+    const PairwiseProblem& problem =
+        left_end_gap ? (right_end_gap ? strategy_.full_path() : strategy_.prefix())
+                     : (right_end_gap ? strategy_.suffix() : strategy_.interior());
+    const bool reverse =
+        (left_end_gap || right_end_gap) ? false : gap_reversed(lo, hi);
+    auto completion = complete_oriented(problem, std::move(sub), std::move(fixed), reverse);
     if (!completion) {
       throw std::logic_error("constant: virtual gap completion failed (gluing violated)");
     }
     return (*completion)[vi - lo];
-  };
+  }
 
-  const Interior* home = interior_of(c);
-  if (home == nullptr) {
-    return complete_gap_at(v_of_real[c]);
+  /// Direction rule for an interior virtual-gap DP: compare the IDs of the
+  /// real positions nearest to the gap's two ends (virtual pumped inserts
+  /// carry no ID; the nearest real node is a bounded scan away).
+  bool gap_reversed(std::size_t lo, std::size_t hi) const {
+    if (strategy_.directed()) return false;
+    std::size_t l = lo;
+    while (l < hi && vseq_[l].real < 0) ++l;
+    std::size_t r = hi;
+    while (r > l && vseq_[r].real < 0) --r;
+    if (l >= r) return false;
+    return view_.ids[static_cast<std::size_t>(vseq_[r].real)] <
+           view_.ids[static_cast<std::size_t>(vseq_[l].real)];
   }
-  // Pull-back: real labels of the interior from a DP fixing the 2 + 2
-  // real boundary nodes to their virtual-gap labels (the forward matrix of
-  // the pumped interior equals the real interior's, so a completion
-  // exists; Lemmas 10-11).
-  const std::size_t ib = home->begin;
-  const std::size_t ie = home->end;
-  Word sub(view.inputs.begin() + static_cast<std::ptrdiff_t>(ib - 2),
-           view.inputs.begin() + static_cast<std::ptrdiff_t>(ie + 2));
-  std::vector<std::optional<Label>> fixed(sub.size());
-  fixed[0] = complete_gap_at(v_of_real[ib - 2]);
-  fixed[1] = complete_gap_at(v_of_real[ib - 1]);
-  fixed[sub.size() - 2] = complete_gap_at(v_of_real[ie]);
-  fixed[sub.size() - 1] = complete_gap_at(v_of_real[ie + 1]);
-  auto completion = complete_by_dp(path_problem, sub, fixed);
-  if (!completion) {
-    throw std::logic_error("constant: interior pull-back failed (type mismatch)");
+
+  /// Pull-back: real labels of a chunk interior from a DP fixing the 2 + 2
+  /// real boundary nodes to their virtual-gap labels (the forward matrix
+  /// of the pumped interior equals the real interior's, so a completion
+  /// exists; Lemmas 10-11). The DP runs in the owning segment's direction.
+  Label pull_back(const Interior& interior, std::size_t c) const {
+    const std::size_t ib = interior.begin;
+    const std::size_t ie = interior.end;
+    Word sub(view_.inputs.begin() + static_cast<std::ptrdiff_t>(ib - 2),
+             view_.inputs.begin() + static_cast<std::ptrdiff_t>(ie + 2));
+    std::vector<std::optional<Label>> fixed(sub.size());
+    fixed[0] = complete_gap_at(mapped(ib - 2));
+    fixed[1] = complete_gap_at(mapped(ib - 1));
+    fixed[sub.size() - 2] = complete_gap_at(mapped(ie));
+    fixed[sub.size() - 1] = complete_gap_at(mapped(ie + 1));
+    auto completion =
+        complete_oriented(strategy_.interior(), std::move(sub), std::move(fixed),
+                          interior.dir == Direction::kBackward);
+    if (!completion) {
+      throw std::logic_error("constant: interior pull-back failed (type mismatch)");
+    }
+    return (*completion)[c - (ib - 2)];
   }
-  return (*completion)[c - (ib - 2)];
+
+  std::size_t mapped(std::size_t real_pos) const {
+    const std::size_t vi = v_of_real_[real_pos];
+    if (vi == kUnmapped) {
+      throw std::logic_error("constant: queried a pumped-away virtual position");
+    }
+    return vi;
+  }
+};
+
+}  // namespace
+
+Label SynthesizedConstant::run(const View& view) const {
+  const PairwiseProblem& problem = monoid_->transitions().problem();
+  if (view.topology != strategy_.topology()) {
+    throw std::invalid_argument("SynthesizedConstant: view topology mismatch");
+  }
+  const bool full = strategy_.cycle() ? view.size() == view.n : view.n <= radius_ + 1;
+  if (full) return solve_full_view(problem, view);
+  return run_large(view);
+}
+
+Label SynthesizedConstant::run_large(const View& view) const {
+  const ConstLayout layout(*monoid_, *cert_, strategy_, view, ell_, scale_, domin_,
+                           orient_ell_);
+  return layout.label_at(view.center);
 }
 
 }  // namespace lclpath

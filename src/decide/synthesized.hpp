@@ -1,5 +1,7 @@
-// Executable synthesized algorithms for the three complexity classes
-// (directed cycles; the classifier itself supports all four topologies).
+// Executable synthesized algorithms for the three complexity classes, on
+// all four topologies (Theorems 8-9 promise a "description of an
+// asymptotically optimal algorithm" for every pairwise LCL on directed and
+// undirected paths and cycles; these classes make the descriptions run).
 //
 //  * SynthesizedLinear — Theta(n): gather everything, canonical DP
 //    (GatherAllAlgorithm; the paper's Section 3.3 upper-bound baseline).
@@ -18,33 +20,123 @@
 //    replacement (Lemmas 10-11). Symmetry inside irregular stretches is
 //    broken by input irregularity alone — window-lexicographic local
 //    maxima — never by IDs, which is what makes the algorithm O(1).
+//
+// The topology axis is factored into a SynthesisStrategy shared by both
+// algorithms:
+//
+//  * paths add endpoint structure — a kLeftEnd/kRightEnd separator block
+//    at a fixed offset from each visible end (its prefix/suffix context is
+//    exactly what the certificate's endpoint filters quantified over), and
+//    prefix/suffix DP completions that keep the first/last rules only at
+//    the true ends;
+//
+//  * undirected topologies add a local orientation — the Lemma 19
+//    ell-orientation (an O(ell)-round, ID-derived direction whose uniform
+//    runs span >= ell nodes) splits the window into oriented segments;
+//    the directed machinery runs inside each segment, orientation flips
+//    act as real boundaries (the ruling set anchors there, the const
+//    partition ends its regions there), and blocks/regions of opposite
+//    orientations glue because the undirected deciders checked exactly
+//    those reversed placements (BlockPoint::reversed, reversed periodic
+//    signatures). All tie-breaks (context splits, DP direction) compare
+//    IDs, so every observer derives the same physical structure no matter
+//    which way its canonicalized window happens to point.
 #pragma once
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "automata/monoid.hpp"
 #include "automata/pumping.hpp"
 #include "decide/const_gap.hpp"
 #include "decide/linear_gap.hpp"
+#include "local/orientation.hpp"
 #include "local/simulator.hpp"
 
 namespace lclpath {
+
+/// The per-topology seam of the synthesized algorithms: everything that
+/// varies across the four topologies — endpoint handling, local
+/// orientation, the problem variants interior completions run against —
+/// lives here; the algorithm cores are topology-agnostic against it.
+class SynthesisStrategy {
+ public:
+  explicit SynthesisStrategy(const PairwiseProblem& problem);
+
+  Topology topology() const { return topology_; }
+  bool cycle() const { return is_cycle(topology_); }
+  bool directed() const { return is_directed(topology_); }
+  /// Strategy tag for display: "directed-cycle", "undirected-path", ...
+  const char* name() const;
+
+  /// Problem variants for DP completions: `interior` strips the first/last
+  /// rules entirely (sub-words away from the true ends), `prefix` keeps
+  /// only the first-node rule, `suffix` only the last-node mask. All are
+  /// path-shaped so the DP never applies a wrap edge.
+  const PairwiseProblem& interior() const { return interior_; }
+  const PairwiseProblem& prefix() const { return prefix_; }
+  const PairwiseProblem& suffix() const { return suffix_; }
+  /// Both endpoint rules kept (a completion spanning the whole path).
+  const PairwiseProblem& full_path() const { return full_path_; }
+
+  /// A maximal uniformly-oriented stretch of the window ([begin, end) in
+  /// presentation coordinates). A boundary is *real* when it is an
+  /// orientation flip or a true path end — the per-segment machinery may
+  /// anchor there; window-clipped boundaries are not real and keep their
+  /// margins.
+  struct Segment {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    Direction dir = Direction::kForward;
+    bool left_real = false;
+    bool right_real = false;
+  };
+
+  /// Splits the window into oriented segments. Directed topologies return
+  /// one forward segment; undirected ones run the window ell-orientation
+  /// (O(len) sliding-window form) with the given ell.
+  std::vector<Segment> segments(const View& view, std::size_t orient_ell) const;
+
+  /// Window margin the orientation layer consumes (0 when directed).
+  std::size_t orientation_margin(std::size_t orient_ell) const;
+
+  /// Direction for a DP completion over window positions [lo, hi]: global
+  /// forward on directed topologies; on undirected ones, from the smaller
+  /// boundary ID toward the larger — an ID comparison both endpoints'
+  /// observers resolve identically, whichever way their presentations
+  /// point. Returns true when the DP must process the sub-word reversed.
+  bool dp_reversed(const View& view, std::size_t lo, std::size_t hi) const;
+
+ private:
+  Topology topology_;
+  PairwiseProblem interior_;
+  PairwiseProblem prefix_;
+  PairwiseProblem suffix_;
+  PairwiseProblem full_path_;
+};
 
 class SynthesizedLogStar final : public LocalAlgorithm {
  public:
   SynthesizedLogStar(const Monoid& monoid, const LinearGapCertificate& certificate);
 
-  std::string name() const override { return "synthesized-logstar"; }
+  std::string name() const override {
+    return "synthesized-logstar[" + std::string(strategy_.name()) + "]";
+  }
   std::size_t radius(std::size_t n) const override;
   Label run(const View& view) const override;
 
   std::size_t block_gap() const { return gap_; }
+  const SynthesisStrategy& strategy() const { return strategy_; }
 
  private:
   const Monoid* monoid_;
   const LinearGapCertificate* cert_;
-  std::size_t gap_ = 0;     ///< ruling-set minimum gap m (power of two)
-  std::size_t radius_ = 0;  ///< constant part of the view radius
+  SynthesisStrategy strategy_;
+  std::size_t ell_ = 0;        ///< certificate context length
+  std::size_t gap_ = 0;        ///< ruling-set minimum gap m (power of two)
+  std::size_t orient_ell_ = 0; ///< ell-orientation scale (undirected only)
+  std::size_t radius_ = 0;     ///< constant part of the view radius
 
   Label run_large(const View& view) const;
 };
@@ -53,18 +145,23 @@ class SynthesizedConstant final : public LocalAlgorithm {
  public:
   SynthesizedConstant(const Monoid& monoid, const ConstGapCertificate& certificate);
 
-  std::string name() const override { return "synthesized-constant"; }
+  std::string name() const override {
+    return "synthesized-constant[" + std::string(strategy_.name()) + "]";
+  }
   std::size_t radius(std::size_t /*n*/) const override { return radius_; }
   Label run(const View& view) const override;
 
   std::size_t ell_pump() const { return ell_; }
+  const SynthesisStrategy& strategy() const { return strategy_; }
 
  private:
   const Monoid* monoid_;
   const ConstGapCertificate* cert_;
-  std::size_t ell_ = 0;      ///< pump threshold (monoid size + margin)
-  std::size_t scale_ = 0;    ///< L0: periodic-region length threshold
-  std::size_t domin_ = 0;    ///< D: seed domination radius
+  SynthesisStrategy strategy_;
+  std::size_t ell_ = 0;        ///< pump threshold (monoid size + margin)
+  std::size_t scale_ = 0;      ///< L0: periodic-region length threshold
+  std::size_t domin_ = 0;      ///< D: seed domination radius
+  std::size_t orient_ell_ = 0; ///< ell-orientation scale (undirected only)
   std::size_t radius_ = 0;
 
   Label run_large(const View& view) const;

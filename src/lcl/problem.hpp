@@ -87,6 +87,13 @@ class PairwiseProblem {
   bool last_ok(Label output) const;
   const BitVector& last_mask() const;
 
+  /// Drop the endpoint rules again (first nodes fall back to C_node, last
+  /// nodes allow everything). The synthesized path algorithms complete
+  /// *interior* sub-words by DP, where the endpoint rules must not fire;
+  /// they run those completions on a stripped copy of the problem.
+  void clear_first_constraint() { node_first_.clear(); }
+  void clear_last_mask() { last_mask_ = BitVector(); }
+
   /// The edge constraint as a boolean matrix (row = predecessor's output).
   const BitMatrix& edge_matrix() const { return edge_matrix_; }
 

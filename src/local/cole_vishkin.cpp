@@ -22,13 +22,6 @@ std::uint64_t cv_step(std::uint64_t mine, std::uint64_t next) {
   return 2 * i + ((mine >> i) & 1u);
 }
 
-namespace {
-
-/// Runs the full Cole-Vishkin pipeline over a window of IDs.
-/// Returns colors in {0,1,2} for window positions in
-/// [cv_radius(), len - 1 - cv_radius()] (clipped ends of a path are exact
-/// boundaries and do not consume margin on that side).
-/// `right_end` / `left_end`: the window is clipped by a real path end.
 std::vector<std::uint64_t> cv_colors_window(const std::vector<NodeId>& ids, bool left_end,
                                             bool right_end) {
   const std::size_t len = ids.size();
@@ -72,8 +65,6 @@ std::vector<std::uint64_t> cv_colors_window(const std::vector<NodeId>& ids, bool
   }
   return color;
 }
-
-}  // namespace
 
 std::size_t cv_three_color(const View& view) {
   const auto colors =

@@ -26,6 +26,15 @@ std::size_t cv_radius();
 /// successor has color `next` (colors must differ).
 std::uint64_t cv_step(std::uint64_t mine, std::uint64_t next);
 
+/// The full Cole-Vishkin pipeline (halvings + three shrink rounds) over a
+/// window of IDs, returning colors in {0, 1, 2}. Colors are trusted within
+/// cv_radius() of each window edge — except at a *real* boundary
+/// (`left_end` / `right_end`: a path end, or an orientation flip treated
+/// as one by the undirected synthesis strategies), where the recursion
+/// anchors and colors are trusted all the way to that side.
+std::vector<std::uint64_t> cv_colors_window(const std::vector<NodeId>& ids,
+                                            bool left_end, bool right_end);
+
 /// Computes the 3-coloring color of the view's center node on a directed
 /// cycle or path. Total radius used: cv_radius(). On paths the last node
 /// (no successor) anchors the recursion with color 0 or 1.

@@ -8,38 +8,13 @@ namespace lclpath {
 
 namespace {
 
-/// Level-0 member flags: 3-coloring + greedy MIS; gaps in [2, 3].
-/// Flags are trusted within [10, len - 11].
-std::vector<char> level0_members(const std::vector<NodeId>& ids) {
+/// Level-0 member flags: 3-coloring + greedy MIS; gaps in [2, 3]. Flags
+/// are trusted within cv_radius()-ish of window edges, all the way to a
+/// *real* boundary (cv_colors_window anchors its recursion there).
+std::vector<char> level0_members(const std::vector<NodeId>& ids, bool left_real,
+                                 bool right_real) {
   std::vector<char> member(ids.size(), 0);
-  std::vector<std::uint64_t> color(ids.begin(), ids.end());
-  std::size_t rm = 0;
-  for (std::size_t step = 0; step < cv_steps_for_ids(); ++step) {
-    std::vector<std::uint64_t> next = color;
-    for (std::size_t i = 0; i + 1 + rm < color.size(); ++i) {
-      next[i] = cv_step(color[i], color[i + 1]);
-    }
-    if (rm + 1 < color.size()) ++rm;
-    color = std::move(next);
-  }
-  std::size_t lm = 0;
-  for (std::uint64_t kill = 5; kill >= 3; --kill) {
-    std::vector<std::uint64_t> next = color;
-    for (std::size_t i = lm + 1; i + 2 + rm < color.size() + 1; ++i) {
-      if (color[i] != kill) continue;
-      const std::uint64_t left = color[i - 1];
-      const std::uint64_t right = i + 1 < color.size() ? color[i + 1] : 6;
-      for (std::uint64_t c = 0; c < 3; ++c) {
-        if (c != left && c != right) {
-          next[i] = c;
-          break;
-        }
-      }
-    }
-    ++lm;
-    if (rm + 1 < color.size()) ++rm;
-    color = std::move(next);
-  }
+  const std::vector<std::uint64_t> color = cv_colors_window(ids, left_real, right_real);
   for (std::uint64_t phase = 0; phase < 3; ++phase) {
     for (std::size_t i = 0; i < ids.size(); ++i) {
       if (color[i] != phase || member[i]) continue;
@@ -52,72 +27,60 @@ std::vector<char> level0_members(const std::vector<NodeId>& ids) {
 }
 
 /// One doubling level: MIS on the member subsequence, then repair so the
-/// gaps lie in [new_min, 2 * new_min].
+/// gaps lie in [new_min, 2 * new_min]. Real boundaries act as virtual
+/// anchors: the repair measures from them, so the distance from a real
+/// end to the nearest member stays below 2 * new_min too.
 std::vector<char> double_level(const std::vector<NodeId>& ids,
-                               const std::vector<char>& member, std::size_t new_min) {
+                               const std::vector<char>& member, std::size_t new_min,
+                               bool left_real, bool right_real) {
   const std::size_t len = ids.size();
   // Collect member positions.
   std::vector<std::size_t> pos;
   for (std::size_t i = 0; i < len; ++i) {
     if (member[i]) pos.push_back(i);
   }
-  if (pos.size() < 2) return member;  // window too small; margins cover this
+  if (pos.size() < 2 && !left_real && !right_real) {
+    return member;  // window too small; margins cover this
+  }
 
-  // Cole-Vishkin on the subsequence (IDs of members).
-  std::vector<std::uint64_t> color;
-  color.reserve(pos.size());
-  for (std::size_t p : pos) color.push_back(ids[p]);
-  std::size_t rm = 0;
-  for (std::size_t step = 0; step < cv_steps_for_ids(); ++step) {
-    std::vector<std::uint64_t> next = color;
-    for (std::size_t i = 0; i + 1 + rm < color.size(); ++i) {
-      next[i] = cv_step(color[i], color[i + 1]);
-    }
-    if (rm + 1 < color.size()) ++rm;
-    color = std::move(next);
-  }
-  std::size_t lm = 0;
-  for (std::uint64_t kill = 5; kill >= 3; --kill) {
-    std::vector<std::uint64_t> next = color;
-    for (std::size_t i = lm + 1; i + 2 + rm < color.size() + 1; ++i) {
-      if (color[i] != kill) continue;
-      const std::uint64_t left = color[i - 1];
-      const std::uint64_t right = i + 1 < color.size() ? color[i + 1] : 6;
-      for (std::uint64_t c = 0; c < 3; ++c) {
-        if (c != left && c != right) {
-          next[i] = c;
-          break;
-        }
+  // MIS over the subsequence (Cole-Vishkin on the member IDs; real window
+  // boundaries anchor the color recursion exactly like path ends).
+  std::vector<char> sub_member(pos.size(), pos.size() == 1 ? 1 : 0);
+  if (pos.size() >= 2) {
+    std::vector<NodeId> sub_ids;
+    sub_ids.reserve(pos.size());
+    for (std::size_t p : pos) sub_ids.push_back(ids[p]);
+    const std::vector<std::uint64_t> color =
+        cv_colors_window(sub_ids, left_real, right_real);
+    for (std::uint64_t phase = 0; phase < 3; ++phase) {
+      for (std::size_t i = 0; i < pos.size(); ++i) {
+        if (color[i] != phase || sub_member[i]) continue;
+        const bool lb = i > 0 && sub_member[i - 1];
+        const bool rb = i + 1 < pos.size() && sub_member[i + 1];
+        if (!lb && !rb) sub_member[i] = 1;
       }
-    }
-    ++lm;
-    if (rm + 1 < color.size()) ++rm;
-    color = std::move(next);
-  }
-  // Greedy MIS over the subsequence.
-  std::vector<char> sub_member(pos.size(), 0);
-  for (std::uint64_t phase = 0; phase < 3; ++phase) {
-    for (std::size_t i = 0; i < pos.size(); ++i) {
-      if (color[i] != phase || sub_member[i]) continue;
-      const bool lb = i > 0 && sub_member[i - 1];
-      const bool rb = i + 1 < pos.size() && sub_member[i + 1];
-      if (!lb && !rb) sub_member[i] = 1;
     }
   }
   // Keep selected members; repair long gaps by inserting synthetic members
-  // at multiples of new_min after the left anchor.
+  // at multiples of new_min after the left anchor. Real boundaries join
+  // the anchor sequence as virtual members just outside the window.
   std::vector<char> out(len, 0);
-  std::vector<std::size_t> kept;
+  std::vector<std::ptrdiff_t> anchors;
+  if (left_real) anchors.push_back(-1);
   for (std::size_t i = 0; i < pos.size(); ++i) {
     if (sub_member[i]) {
       out[pos[i]] = 1;
-      kept.push_back(pos[i]);
+      anchors.push_back(static_cast<std::ptrdiff_t>(pos[i]));
     }
   }
-  for (std::size_t i = 0; i + 1 < kept.size(); ++i) {
-    const std::size_t u = kept[i];
-    const std::size_t v = kept[i + 1];
-    for (std::size_t p = u + new_min; p + new_min <= v; p += new_min) out[p] = 1;
+  if (right_real) anchors.push_back(static_cast<std::ptrdiff_t>(len));
+  for (std::size_t i = 0; i + 1 < anchors.size(); ++i) {
+    const std::ptrdiff_t u = anchors[i];
+    const std::ptrdiff_t v = anchors[i + 1];
+    const std::ptrdiff_t step = static_cast<std::ptrdiff_t>(new_min);
+    for (std::ptrdiff_t p = u + step; p + step <= v; p += step) {
+      if (p >= 0 && p < static_cast<std::ptrdiff_t>(len)) out[static_cast<std::size_t>(p)] = 1;
+    }
   }
   return out;
 }
@@ -152,15 +115,21 @@ std::size_t ruling_radius(std::size_t min_gap) {
   return radius + 4;
 }
 
-std::vector<char> ruling_members_window(const std::vector<NodeId>& ids,
-                                        std::size_t min_gap) {
-  std::vector<char> member = level0_members(ids);
+std::vector<char> ruling_members_segment(const std::vector<NodeId>& ids,
+                                         std::size_t min_gap, bool left_real,
+                                         bool right_real) {
+  std::vector<char> member = level0_members(ids, left_real, right_real);
   std::size_t m = 2;
   for (std::size_t level = 0; level < ruling_levels(min_gap); ++level) {
     m *= 2;
-    member = double_level(ids, member, m);
+    member = double_level(ids, member, m, left_real, right_real);
   }
   return member;
+}
+
+std::vector<char> ruling_members_window(const std::vector<NodeId>& ids,
+                                        std::size_t min_gap) {
+  return ruling_members_segment(ids, min_gap, false, false);
 }
 
 bool ruling_member(const View& view, std::size_t min_gap) {

@@ -1,6 +1,6 @@
-// Ruling sets and the Lemma 16 decomposition on directed cycles.
+// Ruling sets and the Lemma 16 decomposition.
 //
-// The synthesized Theta(log* n) algorithm (Lemma 17) needs separator
+// The synthesized Theta(log* n) algorithms (Lemma 17) need separator
 // blocks of 2r nodes whose gaps are Theta(ell_pump) with both bounds
 // controlled. We build a *ruling set* with consecutive-member distances in
 // [m, 2m] for a power-of-two m:
@@ -45,5 +45,15 @@ bool ruling_member(const View& view, std::size_t min_gap);
 /// caller's responsibility; exposed for the decomposition and tests.
 std::vector<char> ruling_members_window(const std::vector<NodeId>& ids,
                                         std::size_t min_gap);
+
+/// Like ruling_members_window, but either array edge may be a *real*
+/// boundary (a path end, or an orientation flip that the undirected
+/// synthesis strategies treat as one): on a real side the Cole-Vishkin
+/// recursion anchors at the edge and the repair pass measures gaps from
+/// it, so member flags are trusted all the way to that side and the
+/// distance from the boundary to the nearest member stays below 2m.
+std::vector<char> ruling_members_segment(const std::vector<NodeId>& ids,
+                                         std::size_t min_gap, bool left_real,
+                                         bool right_real);
 
 }  // namespace lclpath

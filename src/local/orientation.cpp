@@ -90,6 +90,96 @@ Direction orient(const View& view, std::size_t ell) {
   return best > c ? Direction::kForward : Direction::kBackward;
 }
 
+std::size_t orientation_window_margin(std::size_t ell) {
+  return 2 * internal_scale(ell) + 1;
+}
+
+std::vector<Direction> orientation_directions_window(const std::vector<NodeId>& ids,
+                                                     std::size_t ell) {
+  const std::size_t len = ids.size();
+  const std::size_t scale = internal_scale(ell);
+  std::vector<Direction> out(len, Direction::kForward);
+  if (len == 0) return out;
+
+  // Sliding-window maxima: ball_max[p] = position of the maximum ID in
+  // [p - scale, p + scale] (clamped at array edges). O(len) amortized via
+  // a monotonic deque; IDs are distinct, so the maximum is unique.
+  std::vector<std::size_t> ball_max(len, 0);
+  {
+    std::vector<std::size_t> deque(len);
+    std::size_t head = 0, tail = 0;  // [head, tail)
+    std::size_t next_to_add = 0;
+    for (std::size_t p = 0; p < len; ++p) {
+      const std::size_t hi = std::min(len - 1, p + scale);
+      while (next_to_add <= hi) {
+        while (tail > head && ids[deque[tail - 1]] < ids[next_to_add]) --tail;
+        deque[tail++] = next_to_add;
+        ++next_to_add;
+      }
+      const std::size_t lo = p >= scale ? p - scale : 0;
+      while (tail > head && deque[head] < lo) ++head;
+      ball_max[p] = deque[head];
+    }
+  }
+
+  // Peaks: radius-scale ball maxima. Balls truncate at the array edges —
+  // exact at a real path end (no nodes exist beyond it), untrusted within
+  // orientation_window_margin() of a mere window edge (the caller's
+  // radius accounts for that).
+  std::vector<char> peak(len, 0);
+  for (std::size_t p = 0; p < len; ++p) peak[p] = ball_max[p] == p ? 1 : 0;
+
+  // Nearest peak at or before / after each position (single sweeps).
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> peak_before(len, kNone);
+  std::vector<std::size_t> peak_after(len, kNone);
+  for (std::size_t p = 0; p < len; ++p) {
+    if (peak[p]) {
+      peak_before[p] = p;
+    } else if (p > 0) {
+      peak_before[p] = peak_before[p - 1];
+    }
+  }
+  for (std::size_t p = len; p-- > 0;) {
+    if (peak[p]) {
+      peak_after[p] = p;
+    } else if (p + 1 < len) {
+      peak_after[p] = peak_after[p + 1];
+    }
+  }
+
+  for (std::size_t p = 0; p < len; ++p) {
+    if (peak[p]) {
+      // A peak orients toward its larger neighbor (missing neighbors at a
+      // clamped path end count as smaller than everything).
+      const bool fwd = p + 1 < len && (p == 0 || ids[p + 1] > ids[p - 1]);
+      out[p] = fwd ? Direction::kForward : Direction::kBackward;
+      continue;
+    }
+    const std::size_t dl =
+        peak_before[p] != kNone ? p - peak_before[p] : static_cast<std::size_t>(-1);
+    const std::size_t dr =
+        peak_after[p] != kNone ? peak_after[p] - p : static_cast<std::size_t>(-1);
+    const bool left_ok = dl <= scale;
+    const bool right_ok = dr <= scale;
+    if (left_ok || right_ok) {
+      bool fwd;
+      if (left_ok && right_ok && dl == dr) {
+        fwd = ids[peak_after[p]] > ids[peak_before[p]];  // tie: larger peak ID
+      } else if (!left_ok || (right_ok && dr < dl)) {
+        fwd = true;
+      } else {
+        fwd = false;
+      }
+      out[p] = fwd ? Direction::kForward : Direction::kBackward;
+      continue;
+    }
+    // Peakless zone: toward the ball maximum.
+    out[p] = ball_max[p] > p ? Direction::kForward : Direction::kBackward;
+  }
+  return out;
+}
+
 std::vector<Direction> orient_all(const Instance& instance, std::size_t ell) {
   std::vector<Direction> out;
   out.reserve(instance.size());

@@ -36,4 +36,23 @@ Direction orient(const View& view, std::size_t ell);
 /// Convenience: orientation of every node of an instance (via views).
 std::vector<Direction> orient_all(const Instance& instance, std::size_t ell);
 
+/// Window margin consumed by orientation_directions_window: directions at
+/// positions within this margin of a non-real window edge are not
+/// meaningful.
+std::size_t orientation_window_margin(std::size_t ell);
+
+/// Per-position directions over a whole window of IDs, computed with the
+/// same peak / nearest-peak / ball-max rule as orient() but in O(len)
+/// total via sliding-window maxima (orient() costs O(ell^2) per call —
+/// prohibitive when the synthesized undirected algorithms need every
+/// position of a large window). Directions are relative to the window's
+/// presentation order and the rule is equivariant under reversing it, so
+/// two observers with opposite presentations of the same cycle segment
+/// derive the same physical orientation. Balls are truncated at the
+/// array edges; that is exact where the edge is a real path end (there
+/// simply are no nodes beyond it) and it is why directions within
+/// orientation_window_margin() of a mere window edge are untrusted.
+std::vector<Direction> orientation_directions_window(const std::vector<NodeId>& ids,
+                                                     std::size_t ell);
+
 }  // namespace lclpath

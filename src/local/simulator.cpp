@@ -5,8 +5,26 @@
 
 namespace lclpath {
 
+namespace {
+
+/// Lexicographic comparison of the reversed ID sequence against the
+/// forward one. IDs are distinct, so the comparison never ties for
+/// windows of length >= 2.
+bool reversed_ids_smaller(const std::vector<NodeId>& ids) {
+  const std::size_t len = ids.size();
+  for (std::size_t k = 0; k < len; ++k) {
+    const NodeId fwd = ids[k];
+    const NodeId rev = ids[len - 1 - k];
+    if (fwd != rev) return rev < fwd;
+  }
+  return false;
+}
+
+}  // namespace
+
 View extract_view(const Instance& instance, std::size_t v, std::size_t radius) {
   const std::size_t n = instance.size();
+  const bool undirected = !is_directed(instance.topology);
   View view;
   view.n = n;
   view.topology = instance.topology;
@@ -14,12 +32,25 @@ View extract_view(const Instance& instance, std::size_t v, std::size_t radius) {
     if (2 * radius + 1 >= n) {
       // The node sees the entire cycle; present it as the rotation
       // starting at v (center 0). The algorithm can tell because
-      // size() == n.
+      // size() == n. On undirected cycles the storage direction must not
+      // leak: present the rotation in whichever direction reads the
+      // lexicographically smaller ID sequence.
+      std::ptrdiff_t step = 1;
+      if (undirected && n >= 2) {
+        for (std::size_t k = 1; k < n; ++k) {
+          const NodeId fwd = instance.ids[(v + k) % n];
+          const NodeId bwd = instance.ids[(v + n - k) % n];
+          if (fwd != bwd) {
+            step = bwd < fwd ? -1 : 1;
+            break;
+          }
+        }
+      }
       view.center = 0;
       view.inputs.reserve(n);
       view.ids.reserve(n);
       for (std::size_t k = 0; k < n; ++k) {
-        const std::size_t idx = (v + k) % n;
+        const std::size_t idx = step > 0 ? (v + k) % n : (v + n - k) % n;
         view.inputs.push_back(instance.inputs[idx]);
         view.ids.push_back(instance.ids[idx]);
       }
@@ -33,6 +64,15 @@ View extract_view(const Instance& instance, std::size_t v, std::size_t radius) {
       view.inputs.push_back(instance.inputs[idx]);
       view.ids.push_back(instance.ids[idx]);
     }
+    // Undirected canonicalization: the window is symmetric around the
+    // center, so reversing it is the other legal presentation; pick the
+    // one whose ID sequence is lexicographically smaller. This erases the
+    // storage orientation from what the algorithm can observe (locality /
+    // orientation-independence by construction).
+    if (undirected && reversed_ids_smaller(view.ids)) {
+      std::reverse(view.inputs.begin(), view.inputs.end());
+      std::reverse(view.ids.begin(), view.ids.end());
+    }
     return view;
   }
   const std::size_t lo = v >= radius ? v - radius : 0;
@@ -43,6 +83,16 @@ View extract_view(const Instance& instance, std::size_t v, std::size_t radius) {
   for (std::size_t idx = lo; idx <= hi; ++idx) {
     view.inputs.push_back(instance.inputs[idx]);
     view.ids.push_back(instance.ids[idx]);
+  }
+  // Undirected paths: a window that sees an end is oriented by it (the
+  // two physical ends are distinguishable — the first/last constraints
+  // are anchored there — so end identity is content, not leaked storage
+  // order). End-free middle windows are canonicalized like cycle windows.
+  if (undirected && !view.sees_left_end && !view.sees_right_end &&
+      reversed_ids_smaller(view.ids)) {
+    std::reverse(view.inputs.begin(), view.inputs.end());
+    std::reverse(view.ids.begin(), view.ids.end());
+    view.center = view.size() - 1 - view.center;
   }
   return view;
 }
@@ -62,36 +112,54 @@ SimulationResult simulate(const LocalAlgorithm& algorithm, const PairwiseProblem
   return result;
 }
 
-Label GatherAllAlgorithm::run(const View& view) const {
+Label solve_full_view(const PairwiseProblem& problem, const View& view) {
   if (is_cycle(view.topology)) {
     if (view.size() != view.n) {
-      throw std::logic_error("gather-all: radius did not cover the whole cycle");
+      throw std::logic_error("solve_full_view: radius did not cover the whole cycle");
     }
     // All nodes must agree on one labeling although each sees a different
-    // rotation: canonicalize by rotating so the minimum ID comes first.
+    // rotation (and, undirected, a possibly reversed one): canonicalize by
+    // rotating so the minimum ID comes first, and on undirected cycles
+    // additionally read in the direction whose next ID after the anchor is
+    // smaller. Both rules are content-determined, so every node solves the
+    // same word.
+    const std::size_t n = view.n;
     const std::size_t anchor = static_cast<std::size_t>(
         std::min_element(view.ids.begin(), view.ids.end()) - view.ids.begin());
-    Word canonical(view.n);
-    for (std::size_t k = 0; k < view.n; ++k) {
-      canonical[k] = view.inputs[(anchor + k) % view.n];
+    bool forward = true;
+    if (!is_directed(view.topology) && n >= 3) {
+      forward = view.ids[(anchor + 1) % n] < view.ids[(anchor + n - 1) % n];
     }
-    auto solution = solve_by_dp(*problem_, canonical);
+    Word canonical(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t idx = forward ? (anchor + k) % n : (anchor + n - k) % n;
+      canonical[k] = view.inputs[idx];
+    }
+    auto solution = solve_by_dp(problem, canonical);
     if (!solution) {
-      throw std::runtime_error("gather-all: instance has no valid labeling");
+      throw std::runtime_error("solve_full_view: instance has no valid labeling");
     }
-    // The observing node sits at window position center (= 0); its index
-    // in the canonical rotation is (n - anchor) mod n.
-    const std::size_t my_pos = (view.n - anchor + view.center) % view.n;
+    // The observing node sits at presentation position center; its index
+    // in the canonical word inverts the rotation (and the direction).
+    const std::size_t my_pos = forward ? (n - anchor + view.center) % n
+                                       : (anchor + n - view.center) % n;
     return (*solution)[my_pos];
   }
   if (!view.sees_left_end || !view.sees_right_end) {
-    throw std::logic_error("gather-all: radius did not cover the whole path");
+    throw std::logic_error("solve_full_view: radius did not cover the whole path");
   }
-  auto solution = solve_by_dp(*problem_, view.inputs);
+  // Paths present end-anchored windows in global order (both for directed
+  // topologies and for undirected ones, where the ends are
+  // distinguishable), so the presentation is already canonical.
+  auto solution = solve_by_dp(problem, view.inputs);
   if (!solution) {
-    throw std::runtime_error("gather-all: instance has no valid labeling");
+    throw std::runtime_error("solve_full_view: instance has no valid labeling");
   }
   return (*solution)[view.center];
+}
+
+Label GatherAllAlgorithm::run(const View& view) const {
+  return solve_full_view(*problem_, view);
 }
 
 }  // namespace lclpath

@@ -46,6 +46,14 @@ struct View {
 /// Extracts the radius-T view of node v. On cycles the window wraps; if
 /// 2T + 1 >= n the node sees the whole cycle (window size capped at n and
 /// the node knows it, because it knows n).
+///
+/// Undirected topologies are canonicalized so the storage orientation
+/// cannot leak: end-free windows are presented in whichever direction
+/// reads the lexicographically smaller ID sequence (IDs are distinct, so
+/// this is well defined), and full-cycle views pick the rotation direction
+/// the same way. Path windows that see an end keep global order — the two
+/// physical ends of a path are distinguishable (the first/last constraints
+/// anchor there), so end identity is content.
 View extract_view(const Instance& instance, std::size_t v, std::size_t radius);
 
 /// A deterministic LOCAL algorithm in view form.
@@ -70,6 +78,14 @@ struct SimulationResult {
 /// Runs the algorithm on every node and verifies the global output.
 SimulationResult simulate(const LocalAlgorithm& algorithm, const PairwiseProblem& problem,
                           const Instance& instance);
+
+/// Canonical whole-instance solve for a view that covers everything (a
+/// full cycle, or a path window seeing both ends): every node derives the
+/// same content-determined anchor/direction, solves the same word by DP
+/// and reads off its own label. Shared by GatherAllAlgorithm and by the
+/// synthesized algorithms' small-n regime; throws if the view does not
+/// cover the instance or the instance has no valid labeling.
+Label solve_full_view(const PairwiseProblem& problem, const View& view);
 
 /// The Theta(n) baseline: gather everything, solve by DP, output your own
 /// label. This is the paper's "any solvable problem is O(n)" algorithm

@@ -64,5 +64,39 @@ TEST(LiftedUndirectedRegression, LiftedSolvabilityIsPreserved) {
   EXPECT_TRUE(result.solvability().solvable);
 }
 
+// ISSUE 3: the lifted O(1) problems must synthesize *runnable* constant
+// algorithms on their undirected topologies — no gather-all fallback. The
+// monoid-90 certificates put the structured-regime radii in the millions
+// (the margins scale with ell^2), so execution is pinned in the full-view
+// regime (n below the radius, where every node sees the whole instance
+// and the canonical solve answers); sub-linearity is pinned by the radius
+// being a constant far below a huge n.
+void ExpectLiftSynthesizesConstant(const PairwiseProblem& source, std::uint64_t seed) {
+  const PairwiseProblem lifted = hardness::lift_to_undirected(source);
+  const ClassifiedProblem result = classify(lifted);
+  ASSERT_EQ(result.complexity(), ComplexityClass::kConstant) << result.summary();
+  const auto algorithm = result.synthesize();
+  EXPECT_NE(algorithm->name(), "gather-all");
+  EXPECT_LT(algorithm->radius(std::size_t{1} << 40), std::size_t{1} << 40);
+  Rng rng(seed);
+  for (std::size_t n : {std::size_t{9}, std::size_t{257}}) {
+    Instance instance = random_instance(lifted.topology(), n, lifted.num_inputs(), rng);
+    const auto sim = simulate(*algorithm, lifted, instance);
+    EXPECT_TRUE(sim.verdict.ok) << "n=" << n << ": " << sim.verdict.reason;
+  }
+}
+
+TEST(LiftedUndirectedRegression, ColoringPathLiftSynthesizesConstant) {
+  ExpectLiftSynthesizesConstant(catalog::coloring(3, Topology::kDirectedPath), 301);
+}
+
+TEST(LiftedUndirectedRegression, ConstantOutputPathLiftSynthesizesConstant) {
+  ExpectLiftSynthesizesConstant(catalog::constant_output(Topology::kDirectedPath), 302);
+}
+
+TEST(LiftedUndirectedRegression, ColoringCycleLiftSynthesizesConstant) {
+  ExpectLiftSynthesizesConstant(catalog::coloring(3), 303);
+}
+
 }  // namespace
 }  // namespace lclpath

@@ -57,6 +57,55 @@ TEST(GatherAll, SolvesCatalogInstances) {
   }
 }
 
+// Undirected views are canonicalized (the storage orientation must not
+// leak), so the gather-all baseline has to agree on one labeling although
+// different nodes may receive opposite presentations of the same cycle.
+TEST(GatherAll, SolvesUndirectedInstances) {
+  Rng rng(12);
+  for (const Topology topology :
+       {Topology::kUndirectedCycle, Topology::kUndirectedPath}) {
+    for (PairwiseProblem p :
+         {catalog::coloring(3, topology), catalog::copy_input(topology)}) {
+      GatherAllAlgorithm algorithm(p);
+      for (std::size_t n : {4u, 9u, 17u}) {
+        Instance instance = random_instance(p.topology(), n, p.num_inputs(), rng);
+        const auto result = simulate(algorithm, p, instance);
+        EXPECT_TRUE(result.verdict.ok)
+            << p.name() << " on " << to_string(topology) << " n=" << n << ": "
+            << result.verdict.reason;
+      }
+    }
+  }
+}
+
+TEST(Views, UndirectedWindowsAreCanonicalized) {
+  Rng rng(13);
+  Instance cycle = random_instance(Topology::kUndirectedCycle, 40, 2, rng);
+  Instance mirrored = cycle;
+  std::reverse(mirrored.inputs.begin(), mirrored.inputs.end());
+  std::reverse(mirrored.ids.begin(), mirrored.ids.end());
+  for (std::size_t v = 0; v < cycle.size(); ++v) {
+    const View a = extract_view(cycle, v, 7);
+    const View b = extract_view(mirrored, cycle.size() - 1 - v, 7);
+    EXPECT_EQ(a.ids, b.ids) << "node " << v;
+    EXPECT_EQ(a.inputs, b.inputs) << "node " << v;
+    EXPECT_EQ(a.center, b.center) << "node " << v;
+  }
+  // Path windows seeing an end keep global order (end identity is
+  // content); middle windows are canonicalized like cycle windows.
+  Instance path = random_instance(Topology::kUndirectedPath, 60, 2, rng);
+  const View end_view = extract_view(path, 2, 5);
+  EXPECT_TRUE(end_view.sees_left_end);
+  EXPECT_EQ(end_view.inputs[2], path.inputs[2]);
+  Instance path_mirror = path;
+  std::reverse(path_mirror.inputs.begin(), path_mirror.inputs.end());
+  std::reverse(path_mirror.ids.begin(), path_mirror.ids.end());
+  const View mid_a = extract_view(path, 30, 6);
+  const View mid_b = extract_view(path_mirror, path.size() - 1 - 30, 6);
+  EXPECT_EQ(mid_a.ids, mid_b.ids);
+  EXPECT_EQ(mid_a.inputs, mid_b.inputs);
+}
+
 TEST(ColeVishkin, StepReducesAndKeepsProper) {
   Rng rng(3);
   const std::size_t n = 500;
@@ -141,6 +190,68 @@ TEST(RulingSet, WindowAgreementLocality) {
   const bool ma = ruling_member(extract_view(a, 0, radius), min_gap);
   const bool mb = ruling_member(extract_view(b, 0, radius), min_gap);
   EXPECT_EQ(ma, mb);
+}
+
+// Real boundaries (path ends / orientation flips) anchor the ruling-set
+// construction: member flags are trusted to the boundary, gaps stay in
+// [m, 2m] and the boundary-to-first-member distance stays below 2m.
+TEST(RulingSet, SegmentRealEndsAnchorTheConstruction) {
+  Rng rng(14);
+  for (std::size_t min_gap : {8u, 20u}) {
+    const std::size_t m = ruling_min_gap(min_gap);
+    for (int trial = 0; trial < 6; ++trial) {
+      const std::size_t len = 20 * m + rng.next_below(10 * m);
+      std::vector<NodeId> ids;
+      for (std::size_t id : rng.permutation(len)) ids.push_back(id);
+      const auto member = ruling_members_segment(ids, min_gap, true, true);
+      std::vector<std::size_t> pos;
+      for (std::size_t i = 0; i < len; ++i) {
+        if (member[i]) pos.push_back(i);
+      }
+      ASSERT_GE(pos.size(), 2u);
+      EXPECT_LT(pos.front() + 1, 2 * m);  // anchored at the left boundary
+      EXPECT_LT(len - pos.back(), 2 * m + 1);
+      for (std::size_t k = 0; k + 1 < pos.size(); ++k) {
+        const std::size_t gap = pos[k + 1] - pos[k];
+        EXPECT_GE(gap + 1, m) << "trial " << trial << " at " << pos[k];
+        EXPECT_LE(gap, 2 * m) << "trial " << trial << " at " << pos[k];
+      }
+    }
+  }
+}
+
+// The windowless directed-cycle entry point must be unchanged by the
+// segment generalization (no real boundaries = the old construction).
+TEST(RulingSet, WindowDelegatesToSegment) {
+  Rng rng(15);
+  std::vector<NodeId> ids;
+  for (std::size_t id : rng.permutation(600)) ids.push_back(id);
+  EXPECT_EQ(ruling_members_window(ids, 16), ruling_members_segment(ids, 16, false, false));
+}
+
+// The O(len) sliding-window orientation must agree with the per-node
+// orient() rule wherever both have their margins.
+TEST(Orientation, WindowDirectionsMatchOrient) {
+  Rng rng(16);
+  const std::size_t ell = 5;
+  const std::size_t radius = orientation_radius(ell);
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::size_t n = 150 + rng.next_below(60);
+    Instance instance = random_instance(Topology::kDirectedCycle, n, 2, rng);
+    if (trial == 1) {
+      for (std::size_t v = 0; v < n; ++v) instance.ids[v] = v;  // monotone
+    }
+    const std::vector<Direction> expected = orient_all(instance, ell);
+    // Evaluate the window form on each node's window and compare centers.
+    const std::size_t margin = orientation_window_margin(ell);
+    for (std::size_t v = 0; v < n; ++v) {
+      const View view = extract_view(instance, v, radius);
+      if (view.size() == view.n) break;  // orient() switches to global rule
+      const auto dirs = orientation_directions_window(view.ids, ell);
+      ASSERT_GE(view.center, margin);
+      EXPECT_EQ(dirs[view.center], expected[v]) << "node " << v << " trial " << trial;
+    }
+  }
 }
 
 TEST(Orientation, RunsAreLongOnAdversarialIds) {

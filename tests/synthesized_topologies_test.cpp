@@ -1,0 +1,209 @@
+// Cross-topology synthesis (ISSUE 3): synthesize() must return a
+// sub-linear executable algorithm for every kConstant / kLogStar problem
+// on *all four* topologies — no gather-all fallback — and the outputs must
+// verify under simulation. One test per (problem, topology, instance
+// shape) so ctest parallelizes the O(radius^2) simulations, mirroring the
+// synthesized_test.cpp split.
+//
+// Undirected topologies additionally get the locality properties the
+// directed suite cannot express: window agreement on undirected paths
+// (equal canonicalized windows => equal outputs) and reversal
+// equivariance (on cycles the mirrored instance must produce exactly the
+// mirrored labeling; on paths the two physical ends are distinguishable —
+// the first/last rules anchor there — so only the end-free interior
+// mirrors, and both labelings must verify).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "decide/classifier.hpp"
+#include "test_util.hpp"
+
+namespace lclpath {
+namespace {
+
+// `end_anchored_regime` (paths only): simulate at n in (r, 2r) — still the
+// structured regime, but every node sees an end, which halves the
+// O(n * radius) cost; used for the heavyweight O(1) path radii whose
+// end-free interiors are already covered by the cycle and mixed tests.
+void ExpectSynthesisSolves(const PairwiseProblem& problem, ComplexityClass expected,
+                           std::uint64_t seed, bool end_anchored_regime = false) {
+  Rng rng(seed);
+  const ClassifiedProblem result = classify(problem);
+  ASSERT_EQ(result.complexity(), expected) << result.summary();
+  const auto algorithm = result.synthesize();
+  EXPECT_NE(algorithm->name(), "gather-all");
+  const std::size_t r = algorithm->radius(1 << 20);
+  EXPECT_LT(r, std::size_t{1} << 20) << "radius must be o(n)";
+  const std::size_t structured = end_anchored_regime ? r + 999 : 2 * r + 7;
+  for (std::size_t n : {std::size_t{9}, structured}) {
+    Instance instance = random_instance(problem.topology(), n, problem.num_inputs(), rng);
+    const auto sim = simulate(*algorithm, problem, instance);
+    EXPECT_TRUE(sim.verdict.ok)
+        << problem.name() << " on " << to_string(problem.topology()) << " n=" << n
+        << ": " << sim.verdict.reason;
+  }
+}
+
+// --------------------------------------------------------- Theta(log* n)
+
+TEST(SynthesizedTopologies, LogStarColoringDirectedPath) {
+  ExpectSynthesisSolves(catalog::coloring(3, Topology::kDirectedPath),
+                        ComplexityClass::kLogStar, 201);
+}
+
+TEST(SynthesizedTopologies, LogStarColoringUndirectedCycle) {
+  ExpectSynthesisSolves(catalog::coloring(3, Topology::kUndirectedCycle),
+                        ComplexityClass::kLogStar, 202);
+}
+
+TEST(SynthesizedTopologies, LogStarColoringUndirectedPath) {
+  ExpectSynthesisSolves(catalog::coloring(3, Topology::kUndirectedPath),
+                        ComplexityClass::kLogStar, 203);
+}
+
+TEST(SynthesizedTopologies, LogStarFourColoringUndirectedPath) {
+  // A second output-alphabet size through the undirected machinery.
+  ExpectSynthesisSolves(catalog::coloring(4, Topology::kUndirectedPath),
+                        ComplexityClass::kLogStar, 204);
+}
+
+// ----------------------------------------------------------------- O(1)
+
+TEST(SynthesizedTopologies, ConstantOutputDirectedPath) {
+  ExpectSynthesisSolves(catalog::constant_output(Topology::kDirectedPath),
+                        ComplexityClass::kConstant, 205);
+}
+
+TEST(SynthesizedTopologies, AlwaysAcceptDirectedPath) {
+  ExpectSynthesisSolves(catalog::always_accept(Topology::kDirectedPath),
+                        ComplexityClass::kConstant, 206, /*end_anchored_regime=*/true);
+}
+
+TEST(SynthesizedTopologies, ConstantOutputUndirectedCycle) {
+  ExpectSynthesisSolves(catalog::constant_output(Topology::kUndirectedCycle),
+                        ComplexityClass::kConstant, 207);
+}
+
+TEST(SynthesizedTopologies, ConstantOutputUndirectedPath) {
+  ExpectSynthesisSolves(catalog::constant_output(Topology::kUndirectedPath),
+                        ComplexityClass::kConstant, 208, /*end_anchored_regime=*/true);
+}
+
+// copy-input exercises the endpoint machinery against real input
+// structure: periodic regions, irregular chunks, and their boundaries
+// near a path end. One instance shape per test (CI-budget split).
+void ExpectCopyInputPathSolves(bool mixed) {
+  Rng rng(209);
+  const PairwiseProblem problem = catalog::copy_input(Topology::kDirectedPath);
+  const ClassifiedProblem result = classify(problem);
+  ASSERT_EQ(result.complexity(), ComplexityClass::kConstant) << result.summary();
+  const auto algorithm = result.synthesize();
+  const std::size_t r = algorithm->radius(1 << 20);
+  // Random: n in (r, 2r) — structured regime with every node seeing an
+  // end, which is exactly the endpoint machinery under test (end-free
+  // interiors are the cycle suite's job) and halves the O(n * r) cost.
+  // Mixed: n above 2r so end-free nodes cross the region/chunk boundary.
+  const std::size_t n = mixed ? 2 * r + 9 : r + 999;
+  Instance instance = random_instance(problem.topology(), n, 2, rng);
+  if (mixed) {
+    // A long periodic stretch between random quarters: regression for the
+    // chunk-vs-periodic-region interaction (a seed pair must never pump
+    // across a claimed region and swallow its anchors).
+    for (std::size_t v = n / 4; v < (3 * n) / 4; ++v) instance.inputs[v] = v % 2;
+  }
+  const auto sim = simulate(*algorithm, problem, instance);
+  EXPECT_TRUE(sim.verdict.ok) << sim.verdict.reason;
+}
+
+TEST(SynthesizedTopologies, CopyInputDirectedPathRandom) {
+  ExpectCopyInputPathSolves(false);
+}
+
+TEST(SynthesizedTopologies, CopyInputDirectedPathMixed) {
+  ExpectCopyInputPathSolves(true);
+}
+
+// ------------------------------------------------- locality properties
+
+// Equal (canonicalized) windows on different undirected-path instances
+// must produce equal outputs — the undirected analog of
+// Synthesized.WindowAgreementProperty.
+TEST(SynthesizedTopologies, WindowAgreementUndirectedPath) {
+  Rng rng(210);
+  const PairwiseProblem problem = catalog::coloring(3, Topology::kUndirectedPath);
+  const ClassifiedProblem result = classify(problem);
+  const auto algorithm = result.synthesize();
+  const std::size_t r = algorithm->radius(1 << 20);
+  const std::size_t n = 2 * r + 41;
+  Instance a = random_instance(problem.topology(), n, 1, rng);
+  Instance b = a;
+  // Permute IDs outside node 0's window.
+  for (std::size_t v = r + 5; v + 3 < n; v += 2) {
+    std::swap(b.ids[v], b.ids[v + 1]);
+  }
+  const View va = extract_view(a, 0, r);
+  const View vb = extract_view(b, 0, r);
+  ASSERT_EQ(va.ids, vb.ids);
+  EXPECT_EQ(algorithm->run(va), algorithm->run(vb));
+}
+
+// On an undirected cycle the storage direction is not observable: the
+// reversed instance must produce exactly the mirrored labeling.
+TEST(SynthesizedTopologies, ReversalEquivarianceUndirectedCycle) {
+  Rng rng(211);
+  const PairwiseProblem problem = catalog::coloring(3, Topology::kUndirectedCycle);
+  const ClassifiedProblem result = classify(problem);
+  const auto algorithm = result.synthesize();
+  const std::size_t n = 2 * algorithm->radius(1 << 20) + 23;
+  Instance a = random_instance(problem.topology(), n, 1, rng);
+  Instance b = a;
+  std::reverse(b.inputs.begin(), b.inputs.end());
+  std::reverse(b.ids.begin(), b.ids.end());
+  const auto sa = simulate(*algorithm, problem, a);
+  const auto sb = simulate(*algorithm, problem, b);
+  ASSERT_TRUE(sa.verdict.ok) << sa.verdict.reason;
+  ASSERT_TRUE(sb.verdict.ok) << sb.verdict.reason;
+  for (std::size_t v = 0; v < n; ++v) {
+    ASSERT_EQ(sa.outputs[v], sb.outputs[n - 1 - v]) << "node " << v;
+  }
+}
+
+// On an undirected path the two ends are distinguishable (the first/last
+// rules anchor there), so reversal only mirrors the end-free interior;
+// both labelings must verify either way.
+TEST(SynthesizedTopologies, ReversalUndirectedPath) {
+  Rng rng(212);
+  const PairwiseProblem problem = catalog::coloring(3, Topology::kUndirectedPath);
+  const ClassifiedProblem result = classify(problem);
+  const auto algorithm = result.synthesize();
+  const std::size_t r = algorithm->radius(1 << 20);
+  const std::size_t n = 2 * r + 37;
+  Instance a = random_instance(problem.topology(), n, 1, rng);
+  Instance b = a;
+  std::reverse(b.inputs.begin(), b.inputs.end());
+  std::reverse(b.ids.begin(), b.ids.end());
+  const auto sa = simulate(*algorithm, problem, a);
+  const auto sb = simulate(*algorithm, problem, b);
+  ASSERT_TRUE(sa.verdict.ok) << sa.verdict.reason;
+  ASSERT_TRUE(sb.verdict.ok) << sb.verdict.reason;
+  for (std::size_t v = r + 1; v + r + 1 < n; ++v) {
+    ASSERT_EQ(sa.outputs[v], sb.outputs[n - 1 - v]) << "end-free node " << v;
+  }
+}
+
+// The strategy names surface in the algorithm names (the CLI prints them).
+TEST(SynthesizedTopologies, AlgorithmNamesCarryStrategy) {
+  EXPECT_EQ(classify(catalog::coloring(3)).synthesize()->name(),
+            "synthesized-logstar[directed-cycle]");
+  EXPECT_EQ(classify(catalog::coloring(3, Topology::kUndirectedPath)).synthesize()->name(),
+            "synthesized-logstar[undirected-path]");
+  EXPECT_EQ(
+      classify(catalog::constant_output(Topology::kUndirectedCycle)).synthesize()->name(),
+      "synthesized-constant[undirected-cycle]");
+  EXPECT_EQ(classify(catalog::constant_output(Topology::kDirectedPath)).synthesize()->name(),
+            "synthesized-constant[directed-path]");
+}
+
+}  // namespace
+}  // namespace lclpath
