@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "decide/classifier.hpp"
 #include "hardness/undirected.hpp"
 
@@ -127,17 +128,7 @@ void print_gap_table(const std::vector<GapMeasurement>& rows) {
               kPairwiseDomainLimit);
 }
 
-/// Minimal JSON string escaping (problem names are plain catalog strings
-/// today, but a quote or backslash must never corrupt the CI artifact).
-std::string json_escaped(const std::string& raw) {
-  std::string out;
-  out.reserve(raw.size());
-  for (const char c : raw) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
+using benchjson::json_escaped;
 
 void write_gap_json(const std::vector<GapMeasurement>& rows, const char* path) {
   std::FILE* out = std::fopen(path, "w");

@@ -1,0 +1,20 @@
+// Shared helper for the bench binaries' --emit-json CI artifacts.
+#pragma once
+
+#include <string>
+
+namespace lclpath::benchjson {
+
+/// Minimal JSON string escaping (problem names are plain catalog strings
+/// today, but a quote or backslash must never corrupt a CI artifact).
+inline std::string json_escaped(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace lclpath::benchjson

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "decide/classifier.hpp"
 
 namespace {
@@ -88,15 +89,7 @@ void print_synth_table(const std::vector<SynthMeasurement>& rows) {
   std::printf("(radius is the synthesized view radius; gather-all always uses n.)\n\n");
 }
 
-std::string json_escaped(const std::string& raw) {
-  std::string out;
-  out.reserve(raw.size());
-  for (const char c : raw) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
+using benchjson::json_escaped;
 
 void write_synth_json(const std::vector<SynthMeasurement>& rows, const char* path) {
   std::FILE* out = std::fopen(path, "w");

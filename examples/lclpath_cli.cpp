@@ -40,7 +40,11 @@ std::string read_source(const char* path) {
 
 int run_classify_batch(int argc, char** argv) {
   using namespace lclpath;
+  // Problems sharing a transition-system skeleton (renamed copies, sweep
+  // families) build their monoid once per invocation.
+  MonoidCache monoids;
   BatchOptions options;
+  options.classify.monoid_cache = &monoids;
   std::vector<const char*> paths;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0) {
@@ -108,8 +112,13 @@ int run_classify_batch(int argc, char** argv) {
                   batch[i].error().c_str());
     }
   }
-  std::printf("classified %zu problem(s) in %.3fs (%zu failed)\n", problems.size(),
+  std::printf("classified %zu problem(s) in %.3fs (%zu failed)", problems.size(),
               elapsed.count(), static_cast<std::size_t>(failures));
+  if (monoids.hits() > 0) {
+    std::printf("; %llu monoid(s) reused across shared skeletons",
+                static_cast<unsigned long long>(monoids.hits()));
+  }
+  std::printf("\n");
   return failures == 0 ? 0 : 1;
 }
 

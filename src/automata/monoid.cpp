@@ -1,10 +1,47 @@
 #include "automata/monoid.hpp"
 
 #include <algorithm>
-#include <deque>
+#include <limits>
 #include <stdexcept>
 
 namespace lclpath {
+
+namespace {
+
+constexpr std::size_t kNoParent = std::numeric_limits<std::size_t>::max();
+
+/// data_hash() decomposed over component hashes, so the reversal map can
+/// combine already-computed component hashes instead of re-hashing (or
+/// re-materializing) any element. Must stay in sync with
+/// MonoidElement::data_hash().
+std::size_t combine_hashes(Label first, Label last, std::size_t fwd_h, std::size_t rev_h,
+                           std::size_t anchored_h, std::size_t anchored_rev_h,
+                           std::size_t pvec_h, std::size_t pvec_rev_h) {
+  std::size_t h = hash_mix(first, last);
+  h = hash_mix(h, fwd_h);
+  h = hash_mix(h, rev_h);
+  h = hash_mix(h, anchored_h);
+  h = hash_mix(h, anchored_rev_h);
+  h = hash_mix(h, pvec_h);
+  h = hash_mix(h, pvec_rev_h);
+  return h;
+}
+
+/// True iff `candidate` carries exactly the data of `e` reversed.
+bool same_data_reversed(const MonoidElement& candidate, const MonoidElement& e) {
+  return candidate.first == e.last && candidate.last == e.first &&
+         candidate.fwd == e.rev && candidate.rev == e.fwd &&
+         candidate.anchored == e.anchored_rev && candidate.anchored_rev == e.anchored &&
+         candidate.pvec == e.pvec_rev && candidate.pvec_rev == e.pvec;
+}
+
+}  // namespace
+
+void throw_monoid_budget_overflow(std::size_t max_elements) {
+  throw std::runtime_error(
+      "Monoid::enumerate: reachable type space exceeds the configured budget (" +
+      std::to_string(max_elements) + " elements)");
+}
 
 bool MonoidElement::same_data(const MonoidElement& other) const {
   return first == other.first && last == other.last && fwd == other.fwd &&
@@ -14,128 +51,131 @@ bool MonoidElement::same_data(const MonoidElement& other) const {
 }
 
 std::size_t MonoidElement::data_hash() const {
-  std::size_t h = hash_mix(first, last);
-  h = hash_mix(h, fwd.hash());
-  h = hash_mix(h, rev.hash());
-  h = hash_mix(h, anchored.hash());
-  h = hash_mix(h, anchored_rev.hash());
-  h = hash_mix(h, pvec.hash());
-  h = hash_mix(h, pvec_rev.hash());
-  return h;
-}
-
-std::size_t Monoid::lookup(const MonoidElement& e) const {
-  auto it = by_hash_.find(e.data_hash());
-  if (it == by_hash_.end()) return elements_.size();
-  for (std::size_t index : it->second) {
-    if (elements_[index].same_data(e)) return index;
-  }
-  return elements_.size();
+  return combine_hashes(first, last, fwd.hash(), rev.hash(), anchored.hash(),
+                        anchored_rev.hash(), pvec.hash(), pvec_rev.hash());
 }
 
 Monoid Monoid::enumerate(const TransitionSystem& ts, std::size_t max_elements) {
   Monoid monoid;
   monoid.ts_ = ts;
   const std::size_t num_inputs = ts.num_inputs();
+  const std::size_t beta = ts.num_outputs();
 
-  auto intern = [&monoid](MonoidElement&& e) -> std::pair<std::size_t, bool> {
-    const std::size_t found = monoid.lookup(e);
-    if (found < monoid.elements_.size()) return {found, false};
+  // Reversed-data hash of each element (combined from the same component
+  // hashes as the forward hash, at intern time); consumed by the reversal
+  // pass below and discarded afterwards.
+  std::vector<std::size_t> rev_hash;
+
+  // One scratch element holds every probe; only *fresh* probes are moved
+  // into elements_ (and the scratch re-allocated), so the ~|M| x |Sigma|
+  // duplicate probes of the BFS cost zero allocations.
+  auto make_scratch = [beta] {
+    MonoidElement e;
+    e.fwd = BitMatrix(beta);
+    e.rev = BitMatrix(beta);
+    e.anchored = BitMatrix(beta);
+    e.anchored_rev = BitMatrix(beta);
+    e.pvec = BitVector(beta);
+    e.pvec_rev = BitVector(beta);
+    return e;
+  };
+  MonoidElement probe = make_scratch();
+
+  // Looks up `probe` under its precomputed hash; on a miss interns it
+  // (recording hashes and the BFS parent link) and resets the scratch.
+  auto intern = [&](std::size_t hash, std::size_t reversed_hash, std::size_t parent,
+                    Label sigma) -> std::pair<std::size_t, bool> {
+    auto it = monoid.by_hash_.find(hash);
+    if (it != monoid.by_hash_.end()) {
+      for (std::size_t index : it->second) {
+        if (monoid.elements_[index].same_data(probe)) return {index, false};
+      }
+    }
     const std::size_t index = monoid.elements_.size();
-    monoid.by_hash_[e.data_hash()].push_back(index);
-    monoid.elements_.push_back(std::move(e));
+    monoid.by_hash_[hash].push_back(index);
+    rev_hash.push_back(reversed_hash);
+    monoid.parent_.emplace_back(parent, sigma);
+    monoid.elements_.push_back(std::move(probe));
+    probe = make_scratch();
+    if (monoid.elements_.size() > max_elements) {
+      throw_monoid_budget_overflow(max_elements);
+    }
     return {index, true};
   };
 
-  std::deque<std::size_t> queue;
+  auto hash_probe = [&probe](std::size_t& forward, std::size_t& reversed) {
+    const std::size_t fwd_h = probe.fwd.hash();
+    const std::size_t rev_h = probe.rev.hash();
+    const std::size_t anchored_h = probe.anchored.hash();
+    const std::size_t anchored_rev_h = probe.anchored_rev.hash();
+    const std::size_t pvec_h = probe.pvec.hash();
+    const std::size_t pvec_rev_h = probe.pvec_rev.hash();
+    forward = combine_hashes(probe.first, probe.last, fwd_h, rev_h, anchored_h,
+                             anchored_rev_h, pvec_h, pvec_rev_h);
+    reversed = combine_hashes(probe.last, probe.first, rev_h, fwd_h, anchored_rev_h,
+                              anchored_h, pvec_rev_h, pvec_h);
+  };
+
+  monoid.symbol_index_.assign(num_inputs, 0);
   for (Label sigma = 0; sigma < num_inputs; ++sigma) {
-    MonoidElement e;
-    e.fwd = ts.step(sigma);
-    e.rev = ts.step(sigma);
-    e.anchored = ts.anchored(sigma);
-    e.anchored_rev = ts.anchored(sigma);
-    e.pvec = ts.start_first(sigma);
-    e.pvec_rev = ts.start_first(sigma);
-    e.first = sigma;
-    e.last = sigma;
-    e.witness = {sigma};
-    auto [index, fresh] = intern(std::move(e));
-    if (fresh) queue.push_back(index);
+    probe.fwd = ts.step(sigma);
+    probe.rev = ts.step(sigma);
+    probe.anchored = ts.anchored(sigma);
+    probe.anchored_rev = ts.anchored(sigma);
+    probe.pvec = ts.start_first(sigma);
+    probe.pvec_rev = ts.start_first(sigma);
+    probe.first = sigma;
+    probe.last = sigma;
+    std::size_t h = 0;
+    std::size_t rh = 0;
+    hash_probe(h, rh);
+    monoid.symbol_index_[sigma] = intern(h, rh, kNoParent, sigma).first;
   }
 
-  while (!queue.empty()) {
-    const std::size_t index = queue.front();
-    queue.pop_front();
-    for (Label sigma = 0; sigma < num_inputs; ++sigma) {
-      // Copy source fields up front: intern() may grow elements_ and
-      // invalidate references.
-      const BitMatrix src_fwd = monoid.elements_[index].fwd;
-      const BitMatrix src_rev = monoid.elements_[index].rev;
-      const BitMatrix src_anchored = monoid.elements_[index].anchored;
-      const BitVector src_pvec = monoid.elements_[index].pvec;
-      const Label src_first = monoid.elements_[index].first;
-      const Word src_witness = monoid.elements_[index].witness;
-
-      MonoidElement e;
-      e.fwd = src_fwd * ts.step(sigma);
-      e.rev = ts.step(sigma) * src_rev;           // N((w sigma)^R) = A(sigma) N(w^R)
-      e.anchored = src_anchored * ts.step(sigma);
-      e.anchored_rev = ts.anchored(sigma) * src_rev;  // B((w sigma)^R) = B(sigma) N(w^R)
-      e.pvec = src_pvec.multiplied(ts.step(sigma));
-      e.pvec_rev = ts.start_first(sigma).multiplied(src_rev);  // prefix of (w sigma)^R
-      e.first = src_first;
-      e.last = sigma;
-      e.witness = src_witness;
-      e.witness.push_back(sigma);
-      auto [new_index, fresh] = intern(std::move(e));
-      if (fresh) {
-        if (monoid.elements_.size() > max_elements) {
-          throw std::runtime_error(
-              "Monoid::enumerate: reachable type space exceeds the configured budget (" +
-              std::to_string(max_elements) + " elements)");
-        }
-        queue.push_back(new_index);
-      }
-    }
-  }
-
-  // Dense extend table and reversal map.
-  monoid.extend_table_.assign(monoid.elements_.size() * num_inputs, 0);
+  // BFS. Elements are interned (and therefore queued) in index order, so
+  // the pop sequence is 0, 1, 2, ... and the extend table — whose entries
+  // are exactly the intern results of the probes — is appended row by row
+  // in the same sweep; no second pass re-multiplies anything.
+  monoid.extend_table_.reserve(monoid.elements_.size() * num_inputs);
   for (std::size_t index = 0; index < monoid.elements_.size(); ++index) {
     for (Label sigma = 0; sigma < num_inputs; ++sigma) {
-      MonoidElement e;
-      e.fwd = monoid.elements_[index].fwd * ts.step(sigma);
-      e.rev = ts.step(sigma) * monoid.elements_[index].rev;
-      e.anchored = monoid.elements_[index].anchored * ts.step(sigma);
-      e.anchored_rev = ts.anchored(sigma) * monoid.elements_[index].rev;
-      e.pvec = monoid.elements_[index].pvec.multiplied(ts.step(sigma));
-      e.pvec_rev = ts.start_first(sigma).multiplied(monoid.elements_[index].rev);
-      e.first = monoid.elements_[index].first;
-      e.last = sigma;
-      const std::size_t found = monoid.lookup(e);
-      if (found >= monoid.elements_.size()) {
-        throw std::logic_error("Monoid::enumerate: extend table hit an unknown element");
-      }
-      monoid.extend_table_[index * num_inputs + sigma] = found;
+      // Reads of src complete before intern() may grow elements_.
+      const MonoidElement& src = monoid.elements_[index];
+      src.fwd.multiply_into(ts.step(sigma), probe.fwd);
+      ts.step(sigma).multiply_into(src.rev, probe.rev);  // N((w s)^R) = A(s) N(w^R)
+      src.anchored.multiply_into(ts.step(sigma), probe.anchored);
+      ts.anchored(sigma).multiply_into(src.rev, probe.anchored_rev);
+      src.pvec.multiply_into(ts.step(sigma), probe.pvec);
+      // prefix of (w sigma)^R
+      ts.start_first(sigma).multiply_into(src.rev, probe.pvec_rev);
+      probe.first = src.first;
+      probe.last = sigma;
+      std::size_t h = 0;
+      std::size_t rh = 0;
+      hash_probe(h, rh);
+      monoid.extend_table_.push_back(intern(h, rh, index, sigma).first);
     }
   }
+
+  // Reversal map, from the cached reversed-data hashes: the reverse of a
+  // reachable word is reachable, so every bucket probe must land.
   monoid.reversed_.assign(monoid.elements_.size(), 0);
   for (std::size_t index = 0; index < monoid.elements_.size(); ++index) {
     const MonoidElement& e = monoid.elements_[index];
-    MonoidElement r;
-    r.fwd = e.rev;
-    r.rev = e.fwd;
-    r.anchored = e.anchored_rev;
-    r.anchored_rev = e.anchored;
-    r.pvec = e.pvec_rev;
-    r.pvec_rev = e.pvec;
-    r.first = e.last;
-    r.last = e.first;
-    const std::size_t found = monoid.lookup(r);
-    if (found >= monoid.elements_.size()) {
+    bool found = false;
+    auto it = monoid.by_hash_.find(rev_hash[index]);
+    if (it != monoid.by_hash_.end()) {
+      for (std::size_t candidate : it->second) {
+        if (same_data_reversed(monoid.elements_[candidate], e)) {
+          monoid.reversed_[index] = candidate;
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) {
       throw std::logic_error("Monoid::enumerate: reversal map hit an unknown element");
     }
-    monoid.reversed_[index] = found;
   }
   return monoid;
 }
@@ -144,28 +184,25 @@ std::size_t Monoid::extend(std::size_t element, Label sigma) const {
   return extend_table_[element * ts_.num_inputs() + sigma];
 }
 
-std::size_t Monoid::of_symbol(Label sigma) const {
-  MonoidElement e;
-  e.fwd = ts_.step(sigma);
-  e.rev = ts_.step(sigma);
-  e.anchored = ts_.anchored(sigma);
-  e.anchored_rev = ts_.anchored(sigma);
-  e.pvec = ts_.start_first(sigma);
-  e.pvec_rev = ts_.start_first(sigma);
-  e.first = sigma;
-  e.last = sigma;
-  const std::size_t found = lookup(e);
-  if (found >= elements_.size()) {
-    throw std::logic_error("Monoid::of_symbol: unknown element");
-  }
-  return found;
-}
+std::size_t Monoid::of_symbol(Label sigma) const { return symbol_index_[sigma]; }
 
 std::size_t Monoid::of_word(const Word& w) const {
   if (w.empty()) throw std::invalid_argument("Monoid::of_word: empty word");
   std::size_t index = of_symbol(w[0]);
   for (std::size_t i = 1; i < w.size(); ++i) index = extend(index, w[i]);
   return index;
+}
+
+Word Monoid::witness(std::size_t element) const {
+  Word w;
+  std::size_t index = element;
+  while (true) {
+    w.push_back(parent_[index].second);
+    if (parent_[index].first == kNoParent) break;
+    index = parent_[index].first;
+  }
+  std::reverse(w.begin(), w.end());
+  return w;
 }
 
 std::size_t Monoid::reversed_index(std::size_t element) const { return reversed_[element]; }
@@ -299,6 +336,46 @@ std::vector<std::vector<std::size_t>> Monoid::layers(std::size_t max_length) con
     layers.push_back(std::move(next));
   }
   return layers;
+}
+
+std::shared_ptr<const Monoid> MonoidCache::find(std::uint64_t hash,
+                                               const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [begin, end] = entries_.equal_range(hash);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second.first == key) {
+      ++hits_;
+      return it->second.second;
+    }
+  }
+  ++misses_;
+  return nullptr;
+}
+
+std::shared_ptr<const Monoid> MonoidCache::insert(std::uint64_t hash, std::string key,
+                                                  std::shared_ptr<const Monoid> monoid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [begin, end] = entries_.equal_range(hash);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second.first == key) return it->second.second;  // first writer wins
+  }
+  auto it = entries_.emplace(hash, std::make_pair(std::move(key), std::move(monoid)));
+  return it->second.second;
+}
+
+std::size_t MonoidCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t MonoidCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t MonoidCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
 }
 
 }  // namespace lclpath

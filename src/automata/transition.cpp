@@ -1,5 +1,7 @@
 #include "automata/transition.hpp"
 
+#include "lcl/serialize.hpp"
+
 namespace lclpath {
 
 TransitionSystem TransitionSystem::build(const PairwiseProblem& problem) {
@@ -30,6 +32,37 @@ TransitionSystem TransitionSystem::build(const PairwiseProblem& problem) {
     ts.anchored_.push_back(std::move(anchored));
   }
   return ts;
+}
+
+std::string TransitionSystem::canonical_key() const {
+  std::string key;
+  key += "topology ";
+  key += to_string(problem_.topology());
+  key += "\ndims ";
+  key += std::to_string(num_inputs());
+  key += ' ';
+  key += std::to_string(num_outputs());
+  key += "\nedge\n";
+  key += edge_.to_string();
+  key += "last ";
+  key += last_mask_.to_string();
+  for (Label sigma = 0; sigma < num_inputs(); ++sigma) {
+    key += "\nsigma ";
+    key += std::to_string(sigma);
+    key += "\nstep\n";
+    key += step_[sigma].to_string();
+    key += "anchored\n";
+    key += anchored_[sigma].to_string();
+    key += "start ";
+    key += start_[sigma].to_string();
+    key += "\nstart_first ";
+    key += start_first_[sigma].to_string();
+  }
+  return key;
+}
+
+std::uint64_t TransitionSystem::canonical_hash() const {
+  return lclpath::canonical_hash(canonical_key());
 }
 
 BitMatrix TransitionSystem::word_matrix(const Word& w) const {

@@ -25,6 +25,8 @@
 //     Theta(1)-gap decider (Section 4.4).
 #pragma once
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/alphabet.hpp"
@@ -53,6 +55,21 @@ class TransitionSystem {
   const BitMatrix& anchored(Label sigma) const { return anchored_[sigma]; }
   /// C_edge as a matrix.
   const BitMatrix& edge() const { return edge_; }
+
+  /// Skeleton fingerprint: a canonical description of everything a decider
+  /// or synthesized algorithm can observe through this transition system —
+  /// the topology plus every matrix/vector above (which together determine
+  /// the problem's constraint tables up to cosmetic names). Two problems
+  /// with equal canonical keys build bit-identical monoids and classify
+  /// identically, so the key is the identity for MonoidCache sharing
+  /// (analogous to lcl/serialize.hpp's canonical_key for whole problems,
+  /// but name-blind on labels too).
+  std::string canonical_key() const;
+  /// FNV-1a of canonical_key(); callers that cannot tolerate collisions
+  /// must compare keys on hash hits (MonoidCache does). When you already
+  /// hold the key string, hash it directly via lcl/serialize.hpp's
+  /// canonical_hash(std::string_view) instead of rebuilding it here.
+  std::uint64_t canonical_hash() const;
 
   /// N(w) for a nonempty word (identity for the empty word).
   BitMatrix word_matrix(const Word& w) const;

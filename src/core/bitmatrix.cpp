@@ -72,6 +72,25 @@ BitMatrix& BitMatrix::operator*=(const BitMatrix& other) {
   return *this;
 }
 
+void BitMatrix::multiply_into(const BitMatrix& other, BitMatrix& out) const {
+  assert(dim_ == other.dim_ && out.dim_ == dim_);
+  assert(&out != this && &out != &other);  // out is cleared before reads
+  for (std::uint64_t& w : out.words_) w = 0;
+  for (std::size_t i = 0; i < dim_; ++i) {
+    std::uint64_t* dst = &out.words_[i * words_per_row_];
+    const std::uint64_t* row = &words_[i * words_per_row_];
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      std::uint64_t bits = row[w];
+      while (bits != 0) {
+        const std::size_t k = w * kWordBits + static_cast<std::size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const std::uint64_t* other_row = &other.words_[k * words_per_row_];
+        for (std::size_t ww = 0; ww < words_per_row_; ++ww) dst[ww] |= other_row[ww];
+      }
+    }
+  }
+}
+
 BitMatrix BitMatrix::operator|(const BitMatrix& other) const {
   assert(dim_ == other.dim_);
   BitMatrix result = *this;

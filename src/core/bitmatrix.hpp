@@ -40,6 +40,10 @@ class BitMatrix {
   /// Boolean matrix product: (a*b)[i][j] = OR_k a[i][k] AND b[k][j].
   BitMatrix operator*(const BitMatrix& other) const;
   BitMatrix& operator*=(const BitMatrix& other);
+  /// this * other written into `out` (same dim, distinct object), reusing
+  /// its storage — for hot loops (monoid enumeration probes) that cannot
+  /// afford an allocation per product.
+  void multiply_into(const BitMatrix& other, BitMatrix& out) const;
 
   /// Element-wise OR / AND.
   BitMatrix operator|(const BitMatrix& other) const;

@@ -13,7 +13,11 @@
 //   * deduplicates: semantically identical problems (same canonical_key
 //     from lcl/serialize.hpp, which ignores cosmetic names) are classified
 //     once and share one outcome;
-//   * optionally memoizes across calls via a caller-owned BatchCache.
+//   * optionally memoizes across calls via a caller-owned BatchCache;
+//   * optionally shares monoids across distinct problems with equal
+//     transition-system skeletons via a caller-owned MonoidCache
+//     (options.classify.monoid_cache): the cache is thread-safe and the
+//     shared Monoid is immutable, so workers reuse it concurrently.
 #pragma once
 
 #include <cstdint>

@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "lcl/serialize.hpp"
+
 namespace lclpath {
 
 std::unique_ptr<LocalAlgorithm> ClassifiedProblem::synthesize() const {
@@ -50,10 +52,28 @@ ClassifiedProblem classify(const PairwiseProblem& problem, const ClassifyOptions
   }
   ClassifiedProblem result;
   result.problem_ = std::make_unique<PairwiseProblem>(problem);
-  result.transitions_ =
-      std::make_unique<TransitionSystem>(TransitionSystem::build(*result.problem_));
-  result.monoid_ = std::make_unique<Monoid>(
-      Monoid::enumerate(*result.transitions_, options.max_monoid));
+  const TransitionSystem transitions = TransitionSystem::build(*result.problem_);
+  if (options.monoid_cache != nullptr) {
+    const std::string skeleton_key = transitions.canonical_key();
+    const std::uint64_t skeleton_hash = canonical_hash(skeleton_key);
+    result.monoid_ = options.monoid_cache->find(skeleton_hash, skeleton_key);
+    if (result.monoid_ != nullptr && result.monoid_->size() > options.max_monoid) {
+      // Same contract as enumeration: a tighter-budget caller must see the
+      // overflow, not silently receive a bigger monoid another caller paid
+      // for.
+      throw_monoid_budget_overflow(options.max_monoid);
+    }
+    if (result.monoid_ == nullptr) {
+      // A budget overflow throws here, before insert(): failures are never
+      // cached, so a retry with a bigger budget recomputes.
+      result.monoid_ = options.monoid_cache->insert(
+          skeleton_hash, skeleton_key,
+          std::make_shared<const Monoid>(Monoid::enumerate(transitions, options.max_monoid)));
+    }
+  } else {
+    result.monoid_ = std::make_shared<const Monoid>(
+        Monoid::enumerate(transitions, options.max_monoid));
+  }
 
   result.solvability_ = check_solvability(*result.monoid_, problem.topology());
   if (!result.solvability_.solvable) {

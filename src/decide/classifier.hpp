@@ -37,6 +37,17 @@ struct ClassifyOptions {
   /// is the only one that terminates on lifted undirected problems; the
   /// pairwise oracle exists for differential testing).
   LinearGapEngine linear_engine = LinearGapEngine::kFactorized;
+  /// Optional caller-owned monoid memo cache, keyed by the transition
+  /// system's canonical_hash() (skeleton fingerprint). Problems sharing a
+  /// skeleton — renamed copies, or repeat sweeps over the same family —
+  /// then share one immutable Monoid instead of re-enumerating it per
+  /// classify() call; classify_batch forwards this through
+  /// BatchOptions::classify, so one cache deduplicates monoid construction
+  /// across a whole parameter sweep (and across threads: the cache is
+  /// thread-safe, and a const Monoid is safe to share). A cached monoid
+  /// whose size exceeds max_monoid throws the same budget error
+  /// enumeration would have thrown.
+  MonoidCache* monoid_cache = nullptr;
 };
 
 /// Classification result; owns everything synthesis needs (the problem
@@ -49,6 +60,10 @@ class ClassifiedProblem {
   const LinearGapCertificate& linear_certificate() const { return linear_; }
   const ConstGapCertificate& const_certificate() const { return const_; }
   const Monoid& monoid() const { return *monoid_; }
+  /// The shared monoid itself. With ClassifyOptions::monoid_cache, results
+  /// of a parameter sweep alias one Monoid — callers can keep it alive
+  /// past this ClassifiedProblem or compare pointers to observe sharing.
+  const std::shared_ptr<const Monoid>& monoid_ptr() const { return monoid_; }
   const PairwiseProblem& problem() const { return *problem_; }
   std::size_t monoid_size() const { return monoid_->size(); }
   std::size_t ell_pump() const { return monoid_->ell_pump(); }
@@ -73,8 +88,7 @@ class ClassifiedProblem {
   LinearGapCertificate linear_;
   ConstGapCertificate const_;
   std::unique_ptr<PairwiseProblem> problem_;
-  std::unique_ptr<TransitionSystem> transitions_;
-  std::unique_ptr<Monoid> monoid_;
+  std::shared_ptr<const Monoid> monoid_;
 };
 
 /// Runs the full decision procedure. Throws std::runtime_error if the

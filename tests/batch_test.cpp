@@ -147,6 +147,106 @@ TEST(Batch, EmptyBatchIsEmpty) {
   EXPECT_TRUE(batch.empty());
 }
 
+TEST(MonoidCache, HitMissCountersAndSharedPointer) {
+  MonoidCache cache;
+  ClassifyOptions options;
+  options.monoid_cache = &cache;
+  const PairwiseProblem p = catalog::coloring(3);
+
+  const ClassifiedProblem first = classify(p, options);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  const ClassifiedProblem second = classify(p, options);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  // Not a copy: one immutable monoid, shared.
+  EXPECT_EQ(first.monoid_ptr().get(), second.monoid_ptr().get());
+  EXPECT_EQ(second.complexity(), ComplexityClass::kLogStar);
+}
+
+TEST(MonoidCache, SharesAcrossCosmeticRenamesButNotConstraints) {
+  MonoidCache cache;
+  ClassifyOptions options;
+  options.monoid_cache = &cache;
+  PairwiseProblem renamed = catalog::coloring(3);
+  renamed.set_name("same-skeleton-different-name");
+
+  const ClassifiedProblem a = classify(catalog::coloring(3), options);
+  const ClassifiedProblem b = classify(renamed, options);
+  EXPECT_EQ(a.monoid_ptr().get(), b.monoid_ptr().get());
+  EXPECT_EQ(cache.hits(), 1u);
+
+  const ClassifiedProblem c = classify(catalog::coloring(4), options);
+  EXPECT_NE(a.monoid_ptr().get(), c.monoid_ptr().get());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(MonoidCache, SkeletonKeySeesTopology) {
+  // Deciders read the topology through the shared monoid's transition
+  // system, so path and cycle variants must not share one monoid even
+  // though their matrices coincide.
+  MonoidCache cache;
+  ClassifyOptions options;
+  options.monoid_cache = &cache;
+  const ClassifiedProblem cycle = classify(catalog::coloring(3), options);
+  const ClassifiedProblem path =
+      classify(catalog::coloring(3, Topology::kDirectedPath), options);
+  EXPECT_NE(cycle.monoid_ptr().get(), path.monoid_ptr().get());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(MonoidCache, SharedAcrossThreadsInBatch) {
+  // dedup off + no BatchCache: every slot really classifies, and all
+  // workers must converge on one shared monoid through the cache.
+  MonoidCache cache;
+  BatchOptions options;
+  options.num_threads = 4;
+  options.dedup = false;
+  options.classify.monoid_cache = &cache;
+  std::vector<PairwiseProblem> problems(8, catalog::coloring(3));
+  const auto batch = classify_batch(problems, options);
+  ASSERT_EQ(batch.size(), 8u);
+  const Monoid* shared = batch[0].classified().monoid_ptr().get();
+  for (const BatchEntry& entry : batch) {
+    ASSERT_TRUE(entry.ok()) << entry.error();
+    EXPECT_FALSE(entry.deduplicated);
+    EXPECT_EQ(entry.classified().monoid_ptr().get(), shared);
+  }
+  EXPECT_EQ(cache.size(), 1u);
+  // Concurrent misses may race before the first insert; at least the
+  // repeats after it must hit, and every lookup is accounted for.
+  EXPECT_EQ(cache.hits() + cache.misses(), 8u);
+  EXPECT_GE(cache.hits(), 1u);
+}
+
+TEST(MonoidCache, BudgetOverflowIsNotCachedAndHitsRespectBudget) {
+  const PairwiseProblem big = catalog::coloring(4);
+  const std::size_t big_monoid = classify(big).monoid_size();
+  ASSERT_GT(big_monoid, 1u);
+  MonoidCache cache;
+
+  ClassifyOptions tight;
+  tight.monoid_cache = &cache;
+  tight.max_monoid = big_monoid - 1;
+  EXPECT_THROW(classify(big, tight), std::runtime_error);
+  EXPECT_EQ(cache.size(), 0u);
+
+  // A retry with a sufficient budget recomputes and caches.
+  ClassifyOptions roomy;
+  roomy.monoid_cache = &cache;
+  const ClassifiedProblem ok = classify(big, roomy);
+  EXPECT_EQ(ok.monoid_size(), big_monoid);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // A cache hit whose monoid exceeds the caller's budget throws exactly
+  // like enumeration would have.
+  EXPECT_THROW(classify(big, tight), std::runtime_error);
+}
+
 TEST(CanonicalKey, IgnoresNamesButSeesConstraints) {
   PairwiseProblem a = catalog::coloring(3);
   PairwiseProblem b = catalog::coloring(3);

@@ -1,0 +1,283 @@
+// Differential pin for the single-pass monoid enumeration: an independent
+// reference implementation of the pre-rewrite two-pass algorithm (BFS with
+// per-edge materialized elements, then a second full pass re-multiplying
+// every edge for the extend table and re-materializing every element for
+// the reversal map) must agree with Monoid::enumerate on element count,
+// element data, extend table, reversed_index, layer_at, and witnesses —
+// over the full validation catalog plus the lifted monoid-90 family.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "automata/monoid.hpp"
+#include "hardness/undirected.hpp"
+#include "lcl/catalog.hpp"
+#include "lcl/serialize.hpp"
+
+namespace lclpath {
+namespace {
+
+struct RefElement {
+  MonoidElement data;
+  Word witness;
+};
+
+struct RefMonoid {
+  std::vector<RefElement> elements;
+  std::vector<std::size_t> extend;  // elements x inputs
+  std::vector<std::size_t> reversed;
+};
+
+using RefHashBuckets = std::unordered_map<std::size_t, std::vector<std::size_t>>;
+
+std::size_t ref_lookup(const RefMonoid& ref, const RefHashBuckets& by_hash,
+                       const MonoidElement& e) {
+  auto it = by_hash.find(e.data_hash());
+  if (it == by_hash.end()) return ref.elements.size();
+  for (std::size_t index : it->second) {
+    if (ref.elements[index].data.same_data(e)) return index;
+  }
+  return ref.elements.size();
+}
+
+/// The retired two-pass enumeration, kept verbatim as the oracle.
+RefMonoid reference_enumerate(const TransitionSystem& ts) {
+  RefMonoid ref;
+  RefHashBuckets by_hash;
+  const std::size_t num_inputs = ts.num_inputs();
+
+  auto intern = [&](MonoidElement&& e, Word witness) -> std::pair<std::size_t, bool> {
+    const std::size_t found = ref_lookup(ref, by_hash, e);
+    if (found < ref.elements.size()) return {found, false};
+    const std::size_t index = ref.elements.size();
+    by_hash[e.data_hash()].push_back(index);
+    ref.elements.push_back({std::move(e), std::move(witness)});
+    return {index, true};
+  };
+
+  std::deque<std::size_t> queue;
+  for (Label sigma = 0; sigma < num_inputs; ++sigma) {
+    MonoidElement e;
+    e.fwd = ts.step(sigma);
+    e.rev = ts.step(sigma);
+    e.anchored = ts.anchored(sigma);
+    e.anchored_rev = ts.anchored(sigma);
+    e.pvec = ts.start_first(sigma);
+    e.pvec_rev = ts.start_first(sigma);
+    e.first = sigma;
+    e.last = sigma;
+    auto [index, fresh] = intern(std::move(e), {sigma});
+    if (fresh) queue.push_back(index);
+  }
+
+  while (!queue.empty()) {
+    const std::size_t index = queue.front();
+    queue.pop_front();
+    for (Label sigma = 0; sigma < num_inputs; ++sigma) {
+      const MonoidElement src = ref.elements[index].data;  // deep copy on purpose
+      const Word src_witness = ref.elements[index].witness;
+      MonoidElement e;
+      e.fwd = src.fwd * ts.step(sigma);
+      e.rev = ts.step(sigma) * src.rev;
+      e.anchored = src.anchored * ts.step(sigma);
+      e.anchored_rev = ts.anchored(sigma) * src.rev;
+      e.pvec = src.pvec.multiplied(ts.step(sigma));
+      e.pvec_rev = ts.start_first(sigma).multiplied(src.rev);
+      e.first = src.first;
+      e.last = sigma;
+      Word witness = src_witness;
+      witness.push_back(sigma);
+      auto [new_index, fresh] = intern(std::move(e), std::move(witness));
+      if (fresh) queue.push_back(new_index);
+    }
+  }
+
+  // Second pass: re-multiply every edge for the extend table.
+  ref.extend.assign(ref.elements.size() * num_inputs, 0);
+  for (std::size_t index = 0; index < ref.elements.size(); ++index) {
+    for (Label sigma = 0; sigma < num_inputs; ++sigma) {
+      const MonoidElement& src = ref.elements[index].data;
+      MonoidElement e;
+      e.fwd = src.fwd * ts.step(sigma);
+      e.rev = ts.step(sigma) * src.rev;
+      e.anchored = src.anchored * ts.step(sigma);
+      e.anchored_rev = ts.anchored(sigma) * src.rev;
+      e.pvec = src.pvec.multiplied(ts.step(sigma));
+      e.pvec_rev = ts.start_first(sigma).multiplied(src.rev);
+      e.first = src.first;
+      e.last = sigma;
+      const std::size_t found = ref_lookup(ref, by_hash, e);
+      if (found >= ref.elements.size()) {
+        throw std::logic_error("reference extend table hit an unknown element");
+      }
+      ref.extend[index * num_inputs + sigma] = found;
+    }
+  }
+  // Re-materialize every element for the reversal map.
+  ref.reversed.assign(ref.elements.size(), 0);
+  for (std::size_t index = 0; index < ref.elements.size(); ++index) {
+    const MonoidElement& e = ref.elements[index].data;
+    MonoidElement r;
+    r.fwd = e.rev;
+    r.rev = e.fwd;
+    r.anchored = e.anchored_rev;
+    r.anchored_rev = e.anchored;
+    r.pvec = e.pvec_rev;
+    r.pvec_rev = e.pvec;
+    r.first = e.last;
+    r.last = e.first;
+    const std::size_t found = ref_lookup(ref, by_hash, r);
+    if (found >= ref.elements.size()) {
+      throw std::logic_error("reference reversal map hit an unknown element");
+    }
+    ref.reversed[index] = found;
+  }
+  return ref;
+}
+
+std::vector<PairwiseProblem> differential_workload() {
+  std::vector<PairwiseProblem> problems;
+  for (const auto& entry : catalog::validation_catalog()) {
+    problems.push_back(entry.problem);
+  }
+  // The lifted monoid-90 family (Section 3.7 lifts; coloring(3, path) is
+  // the 90-element skeleton the lifted-regression suite pins).
+  problems.push_back(
+      hardness::lift_to_undirected(catalog::constant_output(Topology::kDirectedPath)));
+  problems.push_back(
+      hardness::lift_to_undirected(catalog::two_coloring(Topology::kDirectedPath)));
+  problems.push_back(
+      hardness::lift_to_undirected(catalog::coloring(3, Topology::kDirectedPath)));
+  return problems;
+}
+
+TEST(MonoidDifferential, SinglePassMatchesTwoPassReference) {
+  for (const PairwiseProblem& problem : differential_workload()) {
+    SCOPED_TRACE(problem.name());
+    const TransitionSystem ts = TransitionSystem::build(problem);
+    const Monoid monoid = Monoid::enumerate(ts);
+    const RefMonoid ref = reference_enumerate(ts);
+
+    ASSERT_EQ(monoid.size(), ref.elements.size());
+    const std::size_t num_inputs = ts.num_inputs();
+    for (std::size_t e = 0; e < monoid.size(); ++e) {
+      // Both enumerations BFS in the same order, so indices correspond.
+      ASSERT_TRUE(monoid.element(e).same_data(ref.elements[e].data)) << "element " << e;
+      EXPECT_EQ(monoid.witness(e), ref.elements[e].witness) << "element " << e;
+      EXPECT_EQ(monoid.reversed_index(e), ref.reversed[e]) << "element " << e;
+      for (Label sigma = 0; sigma < num_inputs; ++sigma) {
+        ASSERT_EQ(monoid.extend(e, sigma), ref.extend[e * num_inputs + sigma])
+            << "element " << e << " sigma " << static_cast<int>(sigma);
+      }
+    }
+    // layer_at is a pure function of the extend table + seeds; cross-check
+    // a few lengths against a direct BFS over the reference table.
+    for (std::size_t length : {1u, 2u, 3u, 7u, 40u}) {
+      std::vector<char> in_layer(ref.elements.size(), 0);
+      std::vector<std::size_t> layer;
+      for (Label sigma = 0; sigma < num_inputs; ++sigma) {
+        const std::size_t seed = monoid.of_symbol(sigma);
+        if (!in_layer[seed]) {
+          in_layer[seed] = 1;
+          layer.push_back(seed);
+        }
+      }
+      for (std::size_t l = 2; l <= length; ++l) {
+        std::vector<char> seen(ref.elements.size(), 0);
+        std::vector<std::size_t> next;
+        for (std::size_t e : layer) {
+          for (Label sigma = 0; sigma < num_inputs; ++sigma) {
+            const std::size_t x = ref.extend[e * num_inputs + sigma];
+            if (!seen[x]) {
+              seen[x] = 1;
+              next.push_back(x);
+            }
+          }
+        }
+        layer = std::move(next);
+      }
+      std::sort(layer.begin(), layer.end());
+      EXPECT_EQ(monoid.layer_at(length), layer) << "length " << length;
+    }
+  }
+}
+
+TEST(MonoidDifferential, OfSymbolMatchesSeedElements) {
+  for (const PairwiseProblem& problem : differential_workload()) {
+    SCOPED_TRACE(problem.name());
+    const TransitionSystem ts = TransitionSystem::build(problem);
+    const Monoid monoid = Monoid::enumerate(ts);
+    for (Label sigma = 0; sigma < ts.num_inputs(); ++sigma) {
+      const std::size_t e = monoid.of_symbol(sigma);
+      EXPECT_EQ(monoid.of_word({sigma}), e);
+      EXPECT_EQ(monoid.element(e).fwd, ts.step(sigma));
+      EXPECT_EQ(monoid.witness(e).size(), 1u);
+    }
+  }
+}
+
+TEST(TransitionCanonicalKey, FingerprintsSkeletonNotNames) {
+  const TransitionSystem a = TransitionSystem::build(catalog::coloring(3));
+  PairwiseProblem renamed = catalog::coloring(3);
+  renamed.set_name("renamed");
+  const TransitionSystem b = TransitionSystem::build(renamed);
+  EXPECT_EQ(a.canonical_key(), b.canonical_key());
+  EXPECT_EQ(a.canonical_hash(), b.canonical_hash());
+  // The member hash is exactly the free FNV-1a of the key (the form
+  // callers use when they already hold the key string).
+  EXPECT_EQ(a.canonical_hash(), canonical_hash(a.canonical_key()));
+
+  // Constraints and topology both split the fingerprint: deciders read the
+  // topology through a shared monoid's transition system.
+  const TransitionSystem more_colors = TransitionSystem::build(catalog::coloring(4));
+  EXPECT_NE(a.canonical_key(), more_colors.canonical_key());
+  const TransitionSystem path =
+      TransitionSystem::build(catalog::coloring(3, Topology::kDirectedPath));
+  EXPECT_NE(a.canonical_key(), path.canonical_key());
+}
+
+TEST(MonoidDifferential, WitnessReconstructionIsShortest) {
+  // Witnesses come from a BFS tree, so |witness(e)| is the BFS depth of e;
+  // no shorter word can reach e (a shorter word's element would have been
+  // interned earlier in BFS order with that length).
+  const PairwiseProblem p =
+      hardness::lift_to_undirected(catalog::coloring(3, Topology::kDirectedPath));
+  const Monoid monoid = Monoid::enumerate(TransitionSystem::build(p));
+  EXPECT_EQ(monoid.size(), 90u);
+  // depth[e] via BFS over the extend table.
+  std::vector<std::size_t> depth(monoid.size(), 0);
+  std::vector<char> seen(monoid.size(), 0);
+  std::deque<std::size_t> queue;
+  for (Label sigma = 0; sigma < monoid.transitions().num_inputs(); ++sigma) {
+    const std::size_t e = monoid.of_symbol(sigma);
+    if (!seen[e]) {
+      seen[e] = 1;
+      depth[e] = 1;
+      queue.push_back(e);
+    }
+  }
+  while (!queue.empty()) {
+    const std::size_t e = queue.front();
+    queue.pop_front();
+    for (Label sigma = 0; sigma < monoid.transitions().num_inputs(); ++sigma) {
+      const std::size_t x = monoid.extend(e, sigma);
+      if (!seen[x]) {
+        seen[x] = 1;
+        depth[x] = depth[e] + 1;
+        queue.push_back(x);
+      }
+    }
+  }
+  for (std::size_t e = 0; e < monoid.size(); ++e) {
+    const Word w = monoid.witness(e);
+    EXPECT_EQ(w.size(), depth[e]) << "element " << e;
+    EXPECT_EQ(monoid.of_word(w), e) << "element " << e;
+  }
+}
+
+}  // namespace
+}  // namespace lclpath
