@@ -5,15 +5,33 @@
 //
 // Experiment E10: decide_linear_gap scaling — the factorized aggregate
 // engine (default) against the legacy pair-wise sweep across growing block
-// domains, including the Section 3.7 undirected lifts whose ~10^5-point
-// domains the pair-wise engine cannot search. `--emit-json[=path]` writes
-// the measurements as machine-readable JSON (default BENCH_linear_gap.json;
-// uploaded as a CI artifact).
+// domains, including the Section 3.7 undirected lifts whose huge domains
+// the pair-wise engine cannot search. Since ISSUE 5 the certificate build
+// is phase-split: `search` is the factorized aggregate search emitting the
+// lazy class-indexed certificate (cost independent of domain size),
+// `materialize` is the extra cost of the dense point-table backend (run
+// only on domains where it is affordable), and `lookup` is the amortized
+// lazy value_at cost the synthesized algorithms pay at runtime. Rows also
+// report resident-memory deltas per phase, and an end-to-end classify()
+// table covers the full decision procedure — the lifted shift-input row
+// (monoid 930, ~2.9 * 10^7 points) is the ISSUE 5 headline.
+//
+// `--emit-json[=path]` writes the measurements as machine-readable JSON
+// (default BENCH_linear_gap.json; committed at the repo root as the
+// tracked baseline and uploaded fresh as a CI artifact).
+// `--perf-smoke[=seconds]` additionally enforces a wall-clock bound on the
+// fixed-cost experiments and — the regression tripwire — bounds the lifted
+// shift-input end-to-end classify at a sixth of the budget: a slide back
+// toward the old ~30 s eager materialization fails the CI step loudly.
 #include <benchmark/benchmark.h>
+
+#include <sys/resource.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -24,6 +42,28 @@
 namespace {
 
 using namespace lclpath;
+using clock_type = std::chrono::steady_clock;
+
+/// Current resident set in MB (Linux /proc; 0 where unavailable). Deltas
+/// around a phase attribute its working-set growth; allocator caching
+/// makes small deltas noisy, but the GB-vs-MB certificate split this
+/// reports is orders of magnitude.
+double current_rss_mb() {
+  std::ifstream statm("/proc/self/statm");
+  long long pages_total = 0;
+  long long pages_resident = 0;
+  if (!(statm >> pages_total >> pages_resident)) return 0;
+  return static_cast<double>(pages_resident) *
+         static_cast<double>(sysconf(_SC_PAGESIZE)) / (1024.0 * 1024.0);
+}
+
+/// Process-wide peak resident set in MB (monotone; reported once at the
+/// end of the preamble).
+double peak_rss_mb() {
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
 
 void SimulateRegime(benchmark::State& state) {
   // 0 = constant, 1 = logstar, 2 = linear
@@ -51,8 +91,16 @@ BENCHMARK(SimulateRegime)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond)
 
 /// The pair-wise engine is quadratic in domain points; beyond this it
 /// stops answering in benchable time (on the lifts it effectively never
-/// terminates — the ROADMAP open item this PR's engine resolved).
+/// terminates — the ROADMAP open item PR 2's engine resolved).
 constexpr std::size_t kPairwiseDomainLimit = 4096;
+
+/// Dense materialization is linear in domain points with a hash insert per
+/// point; past this it costs tens of seconds and GBs (the ISSUE 5
+/// motivation), so the bench only materializes where it stays snappy.
+constexpr std::size_t kMaterializeDomainLimit = 1u << 21;
+
+/// Lazy value_at lookups per row for the amortized-lookup column.
+constexpr std::size_t kLookupSamples = 10000;
 
 struct GapMeasurement {
   std::string problem;
@@ -61,8 +109,18 @@ struct GapMeasurement {
   std::size_t monoid = 0;
   bool feasible = false;
   bool mismatch = false;  ///< engines disagreed on feasibility
-  double factorized_s = 0;
-  double pairwise_s = -1;  ///< < 0: not run (domain beyond the oracle limit)
+  double search_s = 0;          ///< factorized search -> lazy certificate
+  double search_rss_mb = 0;     ///< resident-set delta across the search
+  double materialize_s = -1;    ///< dense backend extra cost (< 0: skipped)
+  double materialize_rss_mb = 0;///< resident-set delta across materialization
+  double lookup_us = -1;        ///< mean lazy value_at (< 0: infeasible)
+  double pairwise_s = -1;       ///< < 0: not run (domain beyond the oracle limit)
+};
+
+struct EndToEndMeasurement {
+  std::string problem;
+  std::string complexity;
+  double classify_s = 0;
 };
 
 std::vector<PairwiseProblem> gap_workload() {
@@ -75,31 +133,86 @@ std::vector<PairwiseProblem> gap_workload() {
       hardness::lift_to_undirected(catalog::constant_output(Topology::kDirectedPath)),
       hardness::lift_to_undirected(catalog::two_coloring(Topology::kDirectedPath)),
       hardness::lift_to_undirected(catalog::coloring(3, Topology::kDirectedPath)),
+      hardness::lift_to_undirected(catalog::shift_input()),
   };
   return problems;
 }
 
+/// The lifted shift-input: the huge-feasible-domain headline whose
+/// end-to-end time the perf smoke bounds.
+const char* kSmokeProblem = "shift-input (undirected) on undirected cycle";
+
+/// Deterministic interior sample points for the lookup column, spread
+/// across the certificate's context layers and the input alphabet.
+std::vector<BlockPoint> sample_points(const Monoid& monoid,
+                                      const LinearGapCertificate& cert) {
+  std::vector<std::size_t> contexts = monoid.layer_at(cert.ell_ctx);
+  const std::vector<std::size_t> next = monoid.layer_at(cert.ell_ctx + 1);
+  contexts.insert(contexts.end(), next.begin(), next.end());
+  const std::size_t alpha = monoid.transitions().num_inputs();
+  std::vector<BlockPoint> sample;
+  sample.reserve(kLookupSamples);
+  for (std::size_t i = 0; i < kLookupSamples; ++i) {
+    sample.push_back(BlockPoint{BlockKind::kInterior,
+                                contexts[(i * 131) % contexts.size()],
+                                static_cast<Label>(i % alpha),
+                                static_cast<Label>((i / 3) % alpha),
+                                contexts[(i * 197) % contexts.size()]});
+  }
+  return sample;
+}
+
 std::vector<GapMeasurement> run_gap_scaling() {
   std::vector<GapMeasurement> rows;
-  using clock = std::chrono::steady_clock;
   for (const PairwiseProblem& problem : gap_workload()) {
     GapMeasurement row;
     row.problem = problem.name() + " on " + to_string(problem.topology());
     const Monoid monoid = Monoid::enumerate(TransitionSystem::build(problem));
     row.monoid = monoid.size();
     row.points = linear_gap_domain_size(monoid, &row.contexts);
-    const auto t0 = clock::now();
-    const LinearGapCertificate fac = decide_linear_gap(monoid);
-    const auto t1 = clock::now();
-    row.feasible = fac.feasible;
-    row.factorized_s = std::chrono::duration<double>(t1 - t0).count();
+
+    const double rss0 = current_rss_mb();
+    const auto t0 = clock_type::now();
+    const LinearGapCertificate lazy =
+        decide_linear_gap(monoid, LinearGapEngine::kFactorized, CertificateMode::kLazy);
+    const auto t1 = clock_type::now();
+    row.feasible = lazy.feasible;
+    row.search_s = std::chrono::duration<double>(t1 - t0).count();
+    row.search_rss_mb = current_rss_mb() - rss0;
+
+    if (row.feasible && row.points <= kMaterializeDomainLimit) {
+      const double rss1 = current_rss_mb();
+      const auto t2 = clock_type::now();
+      const LinearGapCertificate dense = decide_linear_gap(
+          monoid, LinearGapEngine::kFactorized, CertificateMode::kDense);
+      const auto t3 = clock_type::now();
+      // The dense run repeats the search; its extra cost is the
+      // materialization phase.
+      row.materialize_s =
+          std::chrono::duration<double>(t3 - t2).count() - row.search_s;
+      if (row.materialize_s < 0) row.materialize_s = 0;
+      row.materialize_rss_mb = current_rss_mb() - rss1;
+      benchmark::DoNotOptimize(dense.domain_size());
+    }
+
+    if (row.feasible) {
+      const std::vector<BlockPoint> sample = sample_points(monoid, lazy);
+      const auto t4 = clock_type::now();
+      std::size_t checksum = 0;
+      for (const BlockPoint& p : sample) checksum += lazy.value_at(p).a;
+      const auto t5 = clock_type::now();
+      benchmark::DoNotOptimize(checksum);
+      row.lookup_us = std::chrono::duration<double, std::micro>(t5 - t4).count() /
+                      static_cast<double>(sample.size());
+    }
+
     if (row.points <= kPairwiseDomainLimit) {
-      const auto t2 = clock::now();
+      const auto t6 = clock_type::now();
       const LinearGapCertificate pair =
           decide_linear_gap(monoid, LinearGapEngine::kPairwise);
-      const auto t3 = clock::now();
-      row.pairwise_s = std::chrono::duration<double>(t3 - t2).count();
-      if (pair.feasible != fac.feasible) {
+      const auto t7 = clock_type::now();
+      row.pairwise_s = std::chrono::duration<double>(t7 - t6).count();
+      if (pair.feasible != lazy.feasible) {
         row.mismatch = true;
         std::fprintf(stderr, "ENGINE MISMATCH on %s\n", row.problem.c_str());
       }
@@ -109,52 +222,116 @@ std::vector<GapMeasurement> run_gap_scaling() {
   return rows;
 }
 
+std::vector<EndToEndMeasurement> run_end_to_end() {
+  std::vector<EndToEndMeasurement> rows;
+  for (const PairwiseProblem& problem : gap_workload()) {
+    EndToEndMeasurement row;
+    row.problem = problem.name() + " on " + to_string(problem.topology());
+    const auto t0 = clock_type::now();
+    const ClassifiedProblem result = classify(problem);
+    const auto t1 = clock_type::now();
+    row.classify_s = std::chrono::duration<double>(t1 - t0).count();
+    row.complexity = to_string(result.complexity());
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
 void print_gap_table(const std::vector<GapMeasurement>& rows) {
-  std::printf("=== E10: decide_linear_gap — factorized vs pair-wise ===\n");
-  std::printf("%-44s %9s %6s %9s %12s %12s\n", "problem", "points", "ctx", "feasible",
-              "factorized", "pairwise");
+  std::printf("=== E10: decide_linear_gap — certificate phases and engines ===\n");
+  std::printf("%-44s %9s %6s %9s %9s %12s %10s %12s\n", "problem", "points", "ctx",
+              "feasible", "search", "materialize", "lookup", "pairwise");
   for (const GapMeasurement& r : rows) {
+    char materialize[32];
+    if (r.materialize_s >= 0) {
+      std::snprintf(materialize, sizeof materialize, "%.4fs", r.materialize_s);
+    } else {
+      std::snprintf(materialize, sizeof materialize, "(skipped)");
+    }
+    char lookup[32];
+    if (r.lookup_us >= 0) {
+      std::snprintf(lookup, sizeof lookup, "%.3fus", r.lookup_us);
+    } else {
+      std::snprintf(lookup, sizeof lookup, "-");
+    }
     char pairwise[32];
     if (r.pairwise_s >= 0) {
       std::snprintf(pairwise, sizeof pairwise, "%.4fs", r.pairwise_s);
     } else {
       std::snprintf(pairwise, sizeof pairwise, "(skipped)");
     }
-    std::printf("%-44s %9zu %6zu %9s %11.4fs %12s\n", r.problem.c_str(), r.points,
-                r.contexts, r.feasible ? "yes" : "no", r.factorized_s, pairwise);
+    std::printf("%-44s %9zu %6zu %9s %8.4fs %12s %10s %12s\n", r.problem.c_str(),
+                r.points, r.contexts, r.feasible ? "yes" : "no", r.search_s,
+                materialize, lookup, pairwise);
   }
-  std::printf("(pairwise runs only on domains <= %zu points: it is quadratic in "
-              "them,\n and effectively non-terminating on the lifted domains.)\n\n",
-              kPairwiseDomainLimit);
+  std::printf(
+      "(search = factorized aggregate search emitting the lazy class-indexed\n"
+      " certificate; materialize = extra cost of the dense point tables, run only\n"
+      " on domains <= %zu points; lookup = mean lazy value_at over %zu sampled\n"
+      " points; pairwise runs only on domains <= %zu points — it is quadratic in\n"
+      " them, and effectively non-terminating on the lifted domains.)\n\n",
+      static_cast<std::size_t>(kMaterializeDomainLimit),
+      static_cast<std::size_t>(kLookupSamples),
+      static_cast<std::size_t>(kPairwiseDomainLimit));
+}
+
+void print_end_to_end(const std::vector<EndToEndMeasurement>& rows) {
+  std::printf("=== E10b: end-to-end classify() (monoid + solvability + both gaps) ===\n");
+  std::printf("%-44s %12s %12s\n", "problem", "class", "classify");
+  for (const EndToEndMeasurement& r : rows) {
+    std::printf("%-44s %12s %11.4fs\n", r.problem.c_str(), r.complexity.c_str(),
+                r.classify_s);
+  }
+  std::printf("(peak RSS this run %.1f MB; before the lazy certificate backend the\n"
+              " lifted shift-input row alone took ~30 s and ~4.4 GB of dense tables.)\n\n",
+              peak_rss_mb());
 }
 
 using benchjson::json_escaped;
 
-void write_gap_json(const std::vector<GapMeasurement>& rows, const char* path) {
+void write_gap_json(const std::vector<GapMeasurement>& rows,
+                    const std::vector<EndToEndMeasurement>& e2e, const char* path) {
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
     return;
   }
-  std::fprintf(out, "[\n");
+  auto optional_s = [out](const char* key, double value, const char* suffix) {
+    if (value >= 0) {
+      std::fprintf(out, "\"%s\": %.6f%s", key, value, suffix);
+    } else {
+      std::fprintf(out, "\"%s\": null%s", key, suffix);
+    }
+  };
+  std::fprintf(out, "{\n  \"decide\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const GapMeasurement& r = rows[i];
     std::fprintf(out,
-                 "  {\"problem\": \"%s\", \"points\": %zu, \"contexts\": %zu, "
+                 "    {\"problem\": \"%s\", \"points\": %zu, \"contexts\": %zu, "
                  "\"monoid\": %zu, \"feasible\": %s, \"engine_mismatch\": %s, "
-                 "\"factorized_s\": %.6f, \"pairwise_s\": ",
+                 "\"search_s\": %.6f, \"search_rss_mb\": %.2f, ",
                  json_escaped(r.problem).c_str(), r.points, r.contexts, r.monoid,
                  r.feasible ? "true" : "false", r.mismatch ? "true" : "false",
-                 r.factorized_s);
-    if (r.pairwise_s >= 0) {
-      std::fprintf(out, "%.6f}%s\n", r.pairwise_s, i + 1 < rows.size() ? "," : "");
-    } else {
-      std::fprintf(out, "null}%s\n", i + 1 < rows.size() ? "," : "");
-    }
+                 r.search_s, r.search_rss_mb);
+    optional_s("materialize_s", r.materialize_s, ", ");
+    std::fprintf(out, "\"materialize_rss_mb\": %.2f, ", r.materialize_rss_mb);
+    optional_s("lookup_us", r.lookup_us, ", ");
+    optional_s("pairwise_s", r.pairwise_s, "");
+    std::fprintf(out, "}%s\n", i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(out, "]\n");
+  std::fprintf(out, "  ],\n  \"end_to_end\": [\n");
+  for (std::size_t i = 0; i < e2e.size(); ++i) {
+    const EndToEndMeasurement& r = e2e[i];
+    std::fprintf(out,
+                 "    {\"problem\": \"%s\", \"complexity\": \"%s\", "
+                 "\"classify_s\": %.6f}%s\n",
+                 json_escaped(r.problem).c_str(), json_escaped(r.complexity).c_str(),
+                 r.classify_s, i + 1 < e2e.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"peak_rss_mb\": %.1f\n}\n", peak_rss_mb());
   std::fclose(out);
-  std::printf("wrote %s (%zu rows)\n\n", path, rows.size());
+  std::printf("wrote %s (%zu decide rows, %zu end-to-end rows)\n\n", path, rows.size(),
+              e2e.size());
 }
 
 void DecideLinearGapLiftedColoring(benchmark::State& state) {
@@ -164,11 +341,40 @@ void DecideLinearGapLiftedColoring(benchmark::State& state) {
   for (auto _ : state) {
     const LinearGapCertificate cert = decide_linear_gap(monoid);
     if (!cert.feasible) state.SkipWithError("expected feasible");
-    benchmark::DoNotOptimize(cert.choice.size());
+    benchmark::DoNotOptimize(cert.domain_size());
   }
   state.counters["points"] = static_cast<double>(linear_gap_domain_size(monoid));
 }
 BENCHMARK(DecideLinearGapLiftedColoring)->Unit(benchmark::kMillisecond);
+
+void DecideLinearGapLiftedShiftInput(benchmark::State& state) {
+  // The ISSUE 5 headline: monoid 930, ~2.9e7 points — only benchable at
+  // all because the default certificate is the lazy class solution.
+  const PairwiseProblem lifted = hardness::lift_to_undirected(catalog::shift_input());
+  const Monoid monoid = Monoid::enumerate(TransitionSystem::build(lifted));
+  for (auto _ : state) {
+    const LinearGapCertificate cert = decide_linear_gap(monoid);
+    if (!cert.feasible) state.SkipWithError("expected feasible");
+    benchmark::DoNotOptimize(cert.domain_size());
+  }
+  state.counters["points"] = static_cast<double>(linear_gap_domain_size(monoid));
+}
+BENCHMARK(DecideLinearGapLiftedShiftInput)->Unit(benchmark::kMillisecond);
+
+void LazyCertificateLookup(benchmark::State& state) {
+  const PairwiseProblem lifted =
+      hardness::lift_to_undirected(catalog::coloring(3, Topology::kDirectedPath));
+  const Monoid monoid = Monoid::enumerate(TransitionSystem::build(lifted));
+  const LinearGapCertificate cert =
+      decide_linear_gap(monoid, LinearGapEngine::kFactorized, CertificateMode::kLazy);
+  const std::vector<BlockPoint> sample = sample_points(monoid, cert);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cert.value_at(sample[i]));
+    i = (i + 1) % sample.size();
+  }
+}
+BENCHMARK(LazyCertificateLookup);
 
 void DecideLinearGapEngines(benchmark::State& state) {
   // Both engines on a pair-wise-affordable domain (shift-input, 1024 pts).
@@ -189,8 +395,10 @@ BENCHMARK(DecideLinearGapEngines)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)
 int main(int argc, char** argv) {
   using namespace lclpath;
 
-  // --emit-json[=path] is ours, not google-benchmark's; strip it.
+  // --emit-json[=path] / --perf-smoke[=seconds] are ours, not
+  // google-benchmark's; strip them (same convention as bench_monoid).
   const char* json_path = nullptr;
+  double smoke_budget_s = -1;
   bool filtered = false;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
@@ -198,6 +406,10 @@ int main(int argc, char** argv) {
       json_path = "BENCH_linear_gap.json";
     } else if (std::strncmp(argv[i], "--emit-json=", 12) == 0) {
       json_path = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--perf-smoke") == 0) {
+      smoke_budget_s = 60;
+    } else if (std::strncmp(argv[i], "--perf-smoke=", 13) == 0) {
+      smoke_budget_s = std::atof(argv[i] + 13);
     } else {
       if (std::strstr(argv[i], "--benchmark_filter") != nullptr) filtered = true;
       args.push_back(argv[i]);
@@ -208,11 +420,13 @@ int main(int argc, char** argv) {
 
   // A filtered run wants one benchmark, not the fixed-cost experiment
   // preamble (same convention as bench_classifier).
-  if (filtered && json_path == nullptr) {
+  if (filtered && json_path == nullptr && smoke_budget_s < 0) {
     benchmark::Initialize(&filtered_argc, args.data());
     benchmark::RunSpecifiedBenchmarks();
     return 0;
   }
+
+  const auto smoke_t0 = clock_type::now();
 
   std::printf("=== E9: rounds (view radius) vs n for the three regimes ===\n");
   const auto constant = classify(catalog::constant_output()).synthesize();
@@ -228,11 +442,41 @@ int main(int argc, char** argv) {
 
   const std::vector<GapMeasurement> rows = run_gap_scaling();
   print_gap_table(rows);
-  if (json_path != nullptr) write_gap_json(rows, json_path);
+  const std::vector<EndToEndMeasurement> e2e = run_end_to_end();
+  print_end_to_end(e2e);
+  if (json_path != nullptr) write_gap_json(rows, e2e, json_path);
   for (const GapMeasurement& r : rows) {
     // An engine disagreement must fail the process (CI runs this binary as
     // its own step), not just leave a line in the log.
     if (r.mismatch) exit_code = 1;
+  }
+
+  if (smoke_budget_s >= 0) {
+    const double elapsed =
+        std::chrono::duration<double>(clock_type::now() - smoke_t0).count();
+    const bool ok = elapsed <= smoke_budget_s;
+    std::printf("perf smoke: fixed-cost experiments took %.2fs (budget %.0fs): %s\n",
+                elapsed, smoke_budget_s, ok ? "OK" : "FAIL");
+    if (!ok) exit_code = 1;
+    // The ISSUE 5 regression tripwire: the lifted shift-input end-to-end
+    // classify must stay lazy-certificate fast (~1 s in Release). A sixth
+    // of the smoke budget (10 s under CI's --perf-smoke=60) is ~10x
+    // headroom over the healthy time yet far below the ~30 s
+    // eager-materialization regression — a partial slide fails too.
+    bool found = false;
+    for (const EndToEndMeasurement& r : e2e) {
+      if (r.problem != kSmokeProblem) continue;
+      found = true;
+      const double budget = smoke_budget_s / 6;
+      const bool row_ok = r.classify_s <= budget;
+      std::printf("perf smoke: lifted shift-input end-to-end %.2fs (budget %.0fs): %s\n",
+                  r.classify_s, budget, row_ok ? "OK" : "FAIL");
+      if (!row_ok) exit_code = 1;
+    }
+    if (!found) {
+      std::printf("perf smoke: lifted shift-input row missing: FAIL\n");
+      exit_code = 1;
+    }
   }
 
   benchmark::Initialize(&filtered_argc, args.data());

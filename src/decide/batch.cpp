@@ -72,14 +72,21 @@ std::vector<BatchEntry> classify_batch(std::span<const PairwiseProblem> problems
   // Identity pass: canonical keys are cheap (text serialization of small
   // constraint tables) next to classification, but both they and the
   // hashes are pure waste when nothing consumes them. Cache identities
-  // additionally carry the linear-gap engine: the engines agree on the
-  // complexity class, but a differential caller sharing one cache across
-  // engines must not be served the other engine's certificates.
+  // additionally carry the linear-gap engine and the certificate mode:
+  // every configuration agrees on the complexity class, but a caller
+  // sharing one cache across configurations must not be served the other
+  // engine's certificates — nor a dense GB-scale certificate when it
+  // asked for the lazy backend (or vice versa).
   const bool need_keys = options.dedup || options.cache != nullptr;
-  const std::string engine_tag =
+  std::string engine_tag =
       options.classify.linear_engine == LinearGapEngine::kPairwise
           ? "\nlinear-engine pairwise"
           : "\nlinear-engine factorized";
+  switch (options.classify.certificate_mode) {
+    case CertificateMode::kAuto: engine_tag += "\ncertificate auto"; break;
+    case CertificateMode::kDense: engine_tag += "\ncertificate dense"; break;
+    case CertificateMode::kLazy: engine_tag += "\ncertificate lazy"; break;
+  }
   std::vector<std::string> keys(need_keys ? n : 0);
   std::vector<std::uint64_t> hashes(options.cache != nullptr ? n : 0);
   for (std::size_t i = 0; i < n && need_keys; ++i) {

@@ -88,8 +88,13 @@ struct BatchOptions {
   /// Worker threads; 0 means std::thread::hardware_concurrency().
   std::size_t num_threads = 0;
   /// Forwarded to every classify() call (monoid budget, linear-gap
-  /// engine, and whatever the decision procedure grows next — one struct
-  /// so batch callers can never drift out of sync with classify()).
+  /// engine, certificate mode, and whatever the decision procedure grows
+  /// next — one struct so batch callers can never drift out of sync with
+  /// classify()). Note the certificate mode matters to batch memory: with
+  /// the kAuto/kLazy backends a ClassifiedProblem of a huge feasible
+  /// domain holds the class-level solution (MBs), not the materialized
+  /// point tables (GBs), and its lazy value_at lookups are thread-safe —
+  /// workers may share one cached outcome's certificate concurrently.
   ClassifyOptions classify;
   /// Optional cross-call memo cache (may be shared by concurrent batches).
   BatchCache* cache = nullptr;

@@ -81,7 +81,8 @@ ClassifiedProblem classify(const PairwiseProblem& problem, const ClassifyOptions
     return result;
   }
 
-  result.linear_ = decide_linear_gap(*result.monoid_, options.linear_engine);
+  result.linear_ =
+      decide_linear_gap(*result.monoid_, options.linear_engine, options.certificate_mode);
   if (!result.linear_.feasible) {
     result.complexity_ = ComplexityClass::kLinear;
     return result;

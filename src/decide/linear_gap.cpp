@@ -2,11 +2,23 @@
 
 #include <algorithm>
 #include <map>
+#include <mutex>
+#include <shared_mutex>
 #include <stdexcept>
 #include <tuple>
 #include <utility>
 
 namespace lclpath {
+
+namespace {
+
+/// One throw site so both certificate backends report an out-of-domain
+/// lookup with the identical message (the contract tests pin it).
+[[noreturn]] void throw_point_not_in_domain() {
+  throw std::logic_error("LinearGapCertificate::value_at: point not in domain");
+}
+
+}  // namespace
 
 std::size_t BlockPointHash::operator()(const BlockPoint& p) const {
   std::size_t h = hash_mix(static_cast<std::size_t>(p.kind), p.left);
@@ -26,12 +38,178 @@ BlockPoint BlockPoint::reversed(const Monoid& monoid) const {
   return BlockPoint{k, monoid.reversed_index(right), s1, s0, monoid.reversed_index(left)};
 }
 
-BlockValue LinearGapCertificate::value_at(const BlockPoint& point) const {
-  auto it = index.find(point);
-  if (it == index.end()) {
-    throw std::logic_error("LinearGapCertificate::value_at: point not in domain");
+// ---------------------------------------------------------------------------
+// LazyFeasibleFunction — the factorized engine's class-level solution,
+// resolved per point on demand.
+// ---------------------------------------------------------------------------
+
+class LazyFeasibleFunction {
+ public:
+  /// Problem shape.
+  bool cycle = true;
+  std::size_t alpha = 0;  ///< |Sigma_in|
+  std::size_t beta = 0;   ///< |Sigma_out|
+
+  /// Sorted context element list and the element -> position index.
+  std::vector<std::size_t> contexts;
+  std::unordered_map<std::size_t, std::size_t> ctx_pos;
+  /// Context quotient (see FactorizedSearch::build_classes).
+  std::vector<std::size_t> ctx_class;  ///< [position] -> class
+  std::vector<std::size_t> ctx_pair;   ///< [position] -> (class, rev class) pair
+
+  /// Final per-(pair, input) candidate filters derived from the solved
+  /// caps: p[pair][s0] = valid va set, q[pair][s1] = valid vb set.
+  std::vector<std::vector<BitVector>> p;
+  std::vector<std::vector<BitVector>> q;
+  /// Endpoint filters (paths only): prefix_ok[class][s0] = va set of a
+  /// kLeftEnd block, suffix_ok[class] = vb set of a kRightEnd block.
+  std::vector<std::vector<BitVector>> prefix_ok;
+  std::vector<BitVector> suffix_ok;
+  /// cand[s0][s1] = local candidate filter node(s0,va) & node(s1,vb) &
+  /// edge(va,vb).
+  std::vector<std::vector<BitMatrix>> cand;
+
+  std::size_t domain_size() const {
+    const std::size_t kinds = cycle ? 1 : 3;
+    return kinds * contexts.size() * contexts.size() * alpha * alpha;
   }
-  return choice[it->second];
+
+  bool contains(const BlockPoint& point) const {
+    if (cycle && point.kind != BlockKind::kInterior) return false;
+    if (point.s0 >= alpha || point.s1 >= alpha) return false;
+    return ctx_pos.contains(point.left) && ctx_pos.contains(point.right);
+  }
+
+  BlockValue value_at(const BlockPoint& point) const {
+    if ((cycle && point.kind != BlockKind::kInterior) || point.s0 >= alpha ||
+        point.s1 >= alpha) {
+      throw_point_not_in_domain();
+    }
+    const auto left = ctx_pos.find(point.left);
+    const auto right = ctx_pos.find(point.right);
+    if (left == ctx_pos.end() || right == ctx_pos.end()) throw_point_not_in_domain();
+    return value_for(point.kind, left->second, point.s0, point.s1, right->second);
+  }
+
+  /// The chosen value of the domain point (kind, contexts[l], s0, s1,
+  /// contexts[r]). Depends on the contexts only through their class (end
+  /// filters) or pair (interior filters), so the first-valid scan runs
+  /// once per class tuple and is memoized; lookups are O(1) afterwards.
+  /// Thread-safe: the memo is the only mutable state; hits take a shared
+  /// lock (concurrent simulator lookups in the batch pool don't serialize)
+  /// and first resolution scans the immutable tables outside any lock —
+  /// racing resolvers compute the same value, and the loser's emplace is a
+  /// no-op.
+  BlockValue value_for(BlockKind kind, std::size_t l, Label s0, Label s1,
+                       std::size_t r) const {
+    const std::size_t key_l =
+        kind == BlockKind::kLeftEnd ? ctx_class[l] : ctx_pair[l];
+    const std::size_t key_r =
+        kind == BlockKind::kRightEnd ? ctx_class[r] : ctx_pair[r];
+    const std::size_t stride = std::max(p.size(), prefix_ok.size()) + 1;
+    const std::uint64_t key =
+        (((static_cast<std::uint64_t>(kind) * stride + key_l) * alpha + s0) * alpha +
+         s1) *
+            stride +
+        key_r;
+    {
+      std::shared_lock<std::shared_mutex> lock(memo_mutex_);
+      auto it = memo_.find(key);
+      if (it != memo_.end()) return it->second;
+    }
+    const BitVector& va_set =
+        kind == BlockKind::kLeftEnd ? prefix_ok[key_l][s0] : p[key_l][s0];
+    const BitVector& vb_set =
+        kind == BlockKind::kRightEnd ? suffix_ok[key_r] : q[key_r][s1];
+    const BitMatrix& pairs = cand[s0][s1];
+    for (Label va = 0; va < beta; ++va) {
+      if (!va_set.get(va)) continue;
+      for (Label vb = 0; vb < beta; ++vb) {
+        if (!pairs.get(va, vb) || !vb_set.get(vb)) continue;
+        const BlockValue value{va, vb};
+        std::lock_guard<std::shared_mutex> write(memo_mutex_);
+        memo_.emplace(key, value);
+        return value;
+      }
+    }
+    throw std::logic_error("decide_linear_gap: factorized certificate extraction failed");
+  }
+
+  void for_each_point(
+      const std::function<void(const BlockPoint&, const BlockValue&)>& fn) const {
+    auto emit_kind = [&](BlockKind kind) {
+      for (std::size_t l = 0; l < contexts.size(); ++l) {
+        for (Label s0 = 0; s0 < alpha; ++s0) {
+          for (Label s1 = 0; s1 < alpha; ++s1) {
+            for (std::size_t r = 0; r < contexts.size(); ++r) {
+              const BlockPoint point{kind, contexts[l], s0, s1, contexts[r]};
+              fn(point, value_for(kind, l, s0, s1, r));
+            }
+          }
+        }
+      }
+    };
+    emit_kind(BlockKind::kInterior);
+    if (!cycle) {
+      emit_kind(BlockKind::kLeftEnd);
+      emit_kind(BlockKind::kRightEnd);
+    }
+  }
+
+ private:
+  mutable std::shared_mutex memo_mutex_;
+  mutable std::unordered_map<std::uint64_t, BlockValue> memo_;
+};
+
+// ---------------------------------------------------------------------------
+// LinearGapCertificate — backend dispatch.
+// ---------------------------------------------------------------------------
+
+std::size_t LinearGapCertificate::domain_size() const {
+  if (lazy_ != nullptr) return lazy_->domain_size();
+  return domain_.size();
+}
+
+bool LinearGapCertificate::contains(const BlockPoint& point) const {
+  if (lazy_ != nullptr) return lazy_->contains(point);
+  return index_.contains(point);
+}
+
+BlockValue LinearGapCertificate::value_at(const BlockPoint& point) const {
+  if (lazy_ != nullptr) return lazy_->value_at(point);
+  auto it = index_.find(point);
+  if (it == index_.end()) throw_point_not_in_domain();
+  return choice_[it->second];
+}
+
+void LinearGapCertificate::for_each_point(
+    const std::function<void(const BlockPoint&, const BlockValue&)>& fn) const {
+  if (lazy_ != nullptr) {
+    lazy_->for_each_point(fn);
+    return;
+  }
+  for (std::size_t i = 0; i < domain_.size(); ++i) fn(domain_[i], choice_[i]);
+}
+
+void LinearGapCertificate::adopt_dense(
+    std::vector<BlockPoint> domain, std::vector<BlockValue> choice,
+    std::unordered_map<BlockPoint, std::size_t, BlockPointHash> index) {
+  domain_ = std::move(domain);
+  choice_ = std::move(choice);
+  index_ = std::move(index);
+  if (index_.empty() && !domain_.empty()) {
+    index_.reserve(domain_.size());
+    for (std::size_t i = 0; i < domain_.size(); ++i) index_.emplace(domain_[i], i);
+  }
+  lazy_ = nullptr;
+}
+
+void LinearGapCertificate::adopt_lazy(
+    std::shared_ptr<const LazyFeasibleFunction> function) {
+  domain_.clear();
+  choice_.clear();
+  index_.clear();
+  lazy_ = std::move(function);
 }
 
 namespace {
@@ -142,7 +320,7 @@ class FactorizedSearch {
     build_tables();
   }
 
-  LinearGapCertificate run() {
+  LinearGapCertificate run(CertificateMode mode) {
     LinearGapCertificate cert;
     cert.ell_ctx = ell_ctx_;
 
@@ -164,7 +342,16 @@ class FactorizedSearch {
       bool conflicted = false;
       if (alive) conflicted = first_conflict(caps, conflict);
       if (alive && !conflicted) {
-        fill_certificate(caps, cert);
+        const std::size_t points =
+            (cycle_ ? 1 : 3) * n_ctx_ * n_ctx_ * alpha_ * alpha_;
+        const bool dense = mode == CertificateMode::kDense ||
+                           (mode == CertificateMode::kAuto &&
+                            points <= kCertificateAutoDenseLimit);
+        if (dense) {
+          fill_certificate(caps, cert);
+        } else {
+          fill_lazy(caps, cert);
+        }
         return cert;
       }
       if (alive) {
@@ -569,59 +756,63 @@ class FactorizedSearch {
     return false;
   }
 
-  /// Materializes the feasible function: domain points in the same order
-  /// as the pairwise engine, each assigned its first (va, vb) candidate
-  /// valid under the final caps. Validity within glued caps implies every
-  /// ordered pair of points (and every orientation combo) glues.
-  void fill_certificate(const AggregateCaps& caps, LinearGapCertificate& cert) {
+  /// Builds the class-level solution both fill paths read: a
+  /// LazyFeasibleFunction holding the final per-pair candidate filters
+  /// (derive_filters of the solved caps), the endpoint filters, the local
+  /// candidate matrices and the context quotient maps. This is the whole
+  /// feasible function in O(|classes|^2 * |Sigma_in|^2) storage. Consumes
+  /// the search state (run() returns right after the fill), so the filter
+  /// tables move instead of copying; only the const context list (n_ctx
+  /// words) is copied.
+  std::shared_ptr<LazyFeasibleFunction> solution(const AggregateCaps& caps) {
     derive_filters(caps);
+    auto fn = std::make_shared<LazyFeasibleFunction>();
+    fn->cycle = cycle_;
+    fn->alpha = alpha_;
+    fn->beta = beta_;
+    fn->contexts = contexts_;
+    fn->ctx_pos.reserve(n_ctx_);
+    for (std::size_t c = 0; c < n_ctx_; ++c) fn->ctx_pos.emplace(fn->contexts[c], c);
+    fn->ctx_class = std::move(ctx_class_);
+    fn->ctx_pair = std::move(ctx_pair_);
+    fn->p = std::move(p_);
+    fn->q = std::move(q_);
+    fn->prefix_ok = std::move(prefix_ok_);
+    fn->suffix_ok = std::move(suffix_ok_);
+    fn->cand = std::move(cand_);
+    return fn;
+  }
+
+  /// Lazy backend: the certificate *is* the class-level solution;
+  /// value_at resolves points on demand.
+  void fill_lazy(const AggregateCaps& caps, LinearGapCertificate& cert) {
     cert.feasible = true;
-    auto add_points = [&](BlockKind kind) {
-      for (std::size_t l = 0; l < n_ctx_; ++l) {
-        const std::size_t kl = ctx_class_[l];
-        const std::size_t pl = ctx_pair_[l];
-        for (Label s0 = 0; s0 < alpha_; ++s0) {
-          for (Label s1 = 0; s1 < alpha_; ++s1) {
-            for (std::size_t r = 0; r < n_ctx_; ++r) {
-              const BitVector& va_set =
-                  kind == BlockKind::kLeftEnd ? prefix_ok_[kl][s0] : p_[pl][s0];
-              const BitVector& vb_set = kind == BlockKind::kRightEnd
-                                            ? suffix_ok_[ctx_class_[r]]
-                                            : q_[ctx_pair_[r]][s1];
-              const BitMatrix& pairs = cand_[s0][s1];
-              bool placed = false;
-              for (Label va = 0; va < beta_ && !placed; ++va) {
-                if (!va_set.get(va)) continue;
-                for (Label vb = 0; vb < beta_; ++vb) {
-                  if (!pairs.get(va, vb) || !vb_set.get(vb)) continue;
-                  cert.domain.push_back(BlockPoint{kind, contexts_[l], s0, s1, contexts_[r]});
-                  cert.choice.push_back(BlockValue{va, vb});
-                  placed = true;
-                  break;
-                }
-              }
-              if (!placed) {
-                throw std::logic_error(
-                    "decide_linear_gap: factorized certificate extraction failed");
-              }
-            }
-          }
-        }
-      }
-    };
-    add_points(BlockKind::kInterior);
-    if (!cycle_) {
-      add_points(BlockKind::kLeftEnd);
-      add_points(BlockKind::kRightEnd);
-    }
-    for (std::size_t i = 0; i < cert.domain.size(); ++i) {
-      cert.index.emplace(cert.domain[i], i);
-    }
+    cert.adopt_lazy(solution(caps));
+  }
+
+  /// Dense backend: materializes the feasible function point by point, in
+  /// the same order as the pairwise engine, each point assigned its first
+  /// (va, vb) candidate valid under the final caps — by construction the
+  /// same value the lazy backend resolves. Validity within glued caps
+  /// implies every ordered pair of points (and every orientation combo)
+  /// glues.
+  void fill_certificate(const AggregateCaps& caps, LinearGapCertificate& cert) {
+    const std::shared_ptr<LazyFeasibleFunction> fn = solution(caps);
+    std::vector<BlockPoint> domain;
+    std::vector<BlockValue> choice;
+    domain.reserve(fn->domain_size());
+    choice.reserve(fn->domain_size());
+    fn->for_each_point([&](const BlockPoint& point, const BlockValue& value) {
+      domain.push_back(point);
+      choice.push_back(value);
+    });
+    cert.feasible = true;
+    cert.adopt_dense(std::move(domain), std::move(choice), {});
   }
 };
 
-LinearGapCertificate decide_factorized(const Monoid& monoid) {
-  return FactorizedSearch(monoid).run();
+LinearGapCertificate decide_factorized(const Monoid& monoid, CertificateMode mode) {
+  return FactorizedSearch(monoid).run(mode);
 }
 
 // =====================================================================
@@ -749,8 +940,10 @@ LinearGapCertificate decide_pairwise(const Monoid& monoid) {
 
   const std::size_t n_points = search.domain.size();
 
-  // Reversal map over points (undirected only; identity otherwise).
+  // Point index: reversal map now (undirected), certificate index later —
+  // built once and moved into the dense certificate at the end.
   std::unordered_map<BlockPoint, std::size_t, BlockPointHash> point_index;
+  point_index.reserve(n_points);
   for (std::size_t i = 0; i < n_points; ++i) point_index.emplace(search.domain[i], i);
   search.rho.resize(n_points);
   for (std::size_t i = 0; i < n_points; ++i) {
@@ -959,20 +1152,23 @@ LinearGapCertificate decide_pairwise(const Monoid& monoid) {
   if (!found) return cert;
 
   cert.feasible = true;
-  cert.domain = search.domain;
-  cert.choice.reserve(n_points);
+  std::vector<BlockValue> choice;
+  choice.reserve(n_points);
   for (std::size_t i = 0; i < n_points; ++i) {
-    cert.choice.push_back(search.candidates[i][static_cast<std::size_t>(chosen[i])]);
-    cert.index.emplace(search.domain[i], i);
+    choice.push_back(search.candidates[i][static_cast<std::size_t>(chosen[i])]);
   }
+  cert.adopt_dense(std::move(search.domain), std::move(choice), std::move(point_index));
   return cert;
 }
 
 }  // namespace
 
-LinearGapCertificate decide_linear_gap(const Monoid& monoid, LinearGapEngine engine) {
+LinearGapCertificate decide_linear_gap(const Monoid& monoid, LinearGapEngine engine,
+                                       CertificateMode mode) {
+  // The pair-wise oracle's choices come from per-point backtracking, not a
+  // class-level solution — it is dense by construction.
   return engine == LinearGapEngine::kPairwise ? decide_pairwise(monoid)
-                                              : decide_factorized(monoid);
+                                              : decide_factorized(monoid, mode);
 }
 
 std::size_t linear_gap_domain_size(const Monoid& monoid, std::size_t* num_contexts) {

@@ -25,10 +25,38 @@
 //     [ e_{v1.b} * N(wb) * N(wc) * A(s0 of p2) ] (v2.a)  != 0.
 //
 // Feasibility = existence of one value per domain point satisfying every
-// ordered pair constraint (including p1 == p2); we solve this by
-// arc-consistency pruning followed by backtracking, and return the chosen
-// values — they are the synthesized O(log* n) algorithm's lookup table
-// (Lemma 17).
+// ordered pair constraint (including p1 == p2). The factorized engine
+// solves this over aggregate symbol caps per context *class* (contexts
+// quotiented by their (fwd, pvec) data), so both the search and — since
+// this PR — the certificate cost O(|classes|^2), not O(points).
+//
+// Certificate contract
+// --------------------
+// A feasible LinearGapCertificate is the synthesized O(log* n)
+// algorithm's lookup table (Lemma 17): value_at(p) returns the chosen
+// block value of domain point p, and for_each_point enumerates the whole
+// domain with its values in the canonical order (kInterior, then on paths
+// kLeftEnd, kRightEnd; within a kind: left context ascending, s0, s1,
+// right context — contexts in sorted element order). Two backends store
+// the same function:
+//
+//   * kDense — explicit domain/choice tables plus a point hash index.
+//     O(points) storage; what the pair-wise oracle emits, and the
+//     factorized engine's choice for small domains.
+//   * kLazy — the factorized engine's aggregate solution itself: the
+//     element -> context-class maps, the per-class candidate filters and
+//     endpoint filters. value_at maps the point's elements to their
+//     classes and picks the first valid (va, vb) from the class solution,
+//     memoized per class tuple (thread-safe; repeated simulator lookups
+//     are O(1)). O(|classes|^2 * |Sigma_in|^2) storage — on the lifted
+//     shift-input that is MBs instead of the dense GBs, and certificate
+//     construction drops from ~30 s of table writes to milliseconds.
+//
+// Determinism: both backends (and both engines' shared domain layout)
+// report the same feasibility, enumerate the same domain in the same
+// order, and — for the factorized engine — resolve every point to the
+// same first-valid (va, vb). value_at on a point outside the domain
+// throws std::logic_error with the same message on both backends.
 //
 // Undirected topologies additionally quantify over the four
 // orientation combinations of the paper's requirement; the reversal of a
@@ -37,6 +65,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -76,19 +106,64 @@ struct BlockPointHash {
   std::size_t operator()(const BlockPoint& p) const;
 };
 
-struct LinearGapCertificate {
+/// How a feasible certificate stores its function (see header comment).
+enum class CertificateBackend : std::uint8_t { kDense, kLazy };
+
+/// Which backend decide_linear_gap should emit. kAuto materializes dense
+/// tables on small domains (cheap, and the point index makes repeated
+/// lookups a single hash probe) and switches to the lazy class-indexed
+/// representation beyond kCertificateAutoDenseLimit domain points. The
+/// pair-wise oracle always emits kDense — its choices come from per-point
+/// backtracking, not from a class solution.
+enum class CertificateMode : std::uint8_t { kAuto, kDense, kLazy };
+
+/// kAuto's dense/lazy switchover, in domain points.
+inline constexpr std::size_t kCertificateAutoDenseLimit = 1u << 16;
+
+/// The factorized engine's class-level solution; opaque outside
+/// linear_gap.cpp (consume it through LinearGapCertificate).
+class LazyFeasibleFunction;
+
+class LinearGapCertificate {
+ public:
   bool feasible = false;
   /// Context length used for the domain (monoid size + margin).
   std::size_t ell_ctx = 0;
-  /// The feasible function as an explicit table (empty if !feasible).
-  std::vector<BlockPoint> domain;
-  std::vector<BlockValue> choice;
 
-  /// Runtime lookup for the synthesized algorithm; throws if the point is
-  /// not in the domain (indicates a synthesis bug).
+  /// Which representation backs this certificate (meaningful only when
+  /// feasible; an infeasible certificate stores nothing).
+  CertificateBackend backend() const {
+    return lazy_ != nullptr ? CertificateBackend::kLazy : CertificateBackend::kDense;
+  }
+
+  /// Number of domain points (0 if infeasible).
+  std::size_t domain_size() const;
+
+  /// True if the point is a domain point of this certificate.
+  bool contains(const BlockPoint& point) const;
+
+  /// Runtime lookup for the synthesized algorithm; throws std::logic_error
+  /// (same message on both backends) if the point is not in the domain —
+  /// that indicates a synthesis bug. Thread-safe on both backends.
   BlockValue value_at(const BlockPoint& point) const;
 
-  std::unordered_map<BlockPoint, std::size_t, BlockPointHash> index;
+  /// Enumerates every (point, value) of the feasible function in the
+  /// canonical domain order (identical across backends and engines).
+  void for_each_point(
+      const std::function<void(const BlockPoint&, const BlockValue&)>& fn) const;
+
+  /// Engine-side installers (the deciders call these; the pair-wise
+  /// oracle hands over the point index it already built for its reversal
+  /// map instead of re-hashing the domain).
+  void adopt_dense(std::vector<BlockPoint> domain, std::vector<BlockValue> choice,
+                   std::unordered_map<BlockPoint, std::size_t, BlockPointHash> index);
+  void adopt_lazy(std::shared_ptr<const LazyFeasibleFunction> function);
+
+ private:
+  std::vector<BlockPoint> domain_;
+  std::vector<BlockValue> choice_;
+  std::unordered_map<BlockPoint, std::size_t, BlockPointHash> index_;
+  std::shared_ptr<const LazyFeasibleFunction> lazy_;
 };
 
 /// Which feasibility-search implementation decide_linear_gap runs.
@@ -108,10 +183,13 @@ enum class LinearGapEngine : std::uint8_t { kFactorized, kPairwise };
 /// Decides feasibility (hence the Theta(log* n) vs Theta(n) side of the
 /// gap) for a solvable problem. The problem's topology decides endpoint
 /// handling and orientation combos. Both engines decide the same predicate
-/// and emit certificates in the same domain order; only the search
-/// strategy (and the specific feasible function found) may differ.
+/// and enumerate certificates in the same domain order; only the search
+/// strategy (and the specific feasible function found) may differ. `mode`
+/// picks the certificate backend (see CertificateMode; ignored by the
+/// pair-wise oracle, which is dense by construction).
 LinearGapCertificate decide_linear_gap(
-    const Monoid& monoid, LinearGapEngine engine = LinearGapEngine::kFactorized);
+    const Monoid& monoid, LinearGapEngine engine = LinearGapEngine::kFactorized,
+    CertificateMode mode = CertificateMode::kAuto);
 
 /// Number of domain points decide_linear_gap enumerates for this monoid
 /// (kinds * |contexts|^2 * |Sigma_in|^2, where contexts are the layers at

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <future>
 #include <string>
 #include <vector>
 
+#include "core/thread_pool.hpp"
+#include "hardness/undirected.hpp"
 #include "lcl/serialize.hpp"
 
 namespace lclpath {
@@ -245,6 +248,96 @@ TEST(MonoidCache, BudgetOverflowIsNotCachedAndHitsRespectBudget) {
   // A cache hit whose monoid exceeds the caller's budget throws exactly
   // like enumeration would have.
   EXPECT_THROW(classify(big, tight), std::runtime_error);
+}
+
+// A shared BatchCache must not serve one certificate mode's outcome to a
+// caller that asked for the other backend: the complexity class agrees,
+// but the certificate representation (lazy MBs vs dense GBs on lifted
+// problems) is exactly what the caller chose.
+TEST(Batch, CacheDoesNotServeAcrossCertificateModes) {
+  const std::vector<PairwiseProblem> problems = {catalog::coloring(3)};
+  BatchCache cache;
+  BatchOptions dense_options;
+  dense_options.cache = &cache;
+  dense_options.classify.certificate_mode = CertificateMode::kDense;
+  const auto dense = classify_batch(problems, dense_options);
+  BatchOptions lazy_options;
+  lazy_options.cache = &cache;
+  lazy_options.classify.certificate_mode = CertificateMode::kLazy;
+  const auto lazy = classify_batch(problems, lazy_options);
+  ASSERT_TRUE(dense[0].ok());
+  ASSERT_TRUE(lazy[0].ok());
+  EXPECT_FALSE(lazy[0].from_cache) << "lazy batch must not reuse the dense outcome";
+  EXPECT_EQ(dense[0].classified().linear_certificate().backend(),
+            CertificateBackend::kDense);
+  EXPECT_EQ(lazy[0].classified().linear_certificate().backend(),
+            CertificateBackend::kLazy);
+  // The same mode does hit its own earlier outcome.
+  const auto again = classify_batch(problems, lazy_options);
+  EXPECT_TRUE(again[0].from_cache);
+  EXPECT_EQ(again[0].classified().linear_certificate().backend(),
+            CertificateBackend::kLazy);
+}
+
+// ISSUE 5: the lazy certificate's memoized value_at is the hot lookup of
+// every synthesized log* algorithm a batch outcome hands out, and batch
+// consumers share one outcome (dedup, BatchCache) across worker threads.
+// Hammer one shared lazy certificate from the pool: all threads must see
+// the same deterministic values as a serial sweep (the memo is the only
+// mutable state; this test runs under the sanitizer jobs, and the race
+// would also surface as torn BlockValues here).
+TEST(Batch, LazyCertificateLookupsAreThreadSafeUnderThePool) {
+  const PairwiseProblem lifted =
+      hardness::lift_to_undirected(catalog::coloring(3, Topology::kDirectedPath));
+  ClassifyOptions options;
+  options.certificate_mode = CertificateMode::kLazy;
+  const ClassifiedProblem result = classify(lifted, options);
+  ASSERT_TRUE(result.linear_certificate().feasible);
+  ASSERT_EQ(result.linear_certificate().backend(), CertificateBackend::kLazy);
+  const LinearGapCertificate& cert = result.linear_certificate();
+
+  // A deterministic sample of domain points (spread across the context
+  // layers and inputs) and their expected values, resolved serially first.
+  const Monoid& monoid = result.monoid();
+  std::vector<std::size_t> contexts = monoid.layer_at(cert.ell_ctx);
+  const std::vector<std::size_t> next = monoid.layer_at(cert.ell_ctx + 1);
+  contexts.insert(contexts.end(), next.begin(), next.end());
+  ASSERT_FALSE(contexts.empty());
+  const Label alpha = static_cast<Label>(lifted.num_inputs());
+  std::vector<BlockPoint> sample;
+  for (std::size_t i = 0; i < 64; ++i) {
+    sample.push_back(BlockPoint{BlockKind::kInterior,
+                                contexts[(i * 13) % contexts.size()],
+                                static_cast<Label>(i % alpha),
+                                static_cast<Label>((i / 2) % alpha),
+                                contexts[(i * 29) % contexts.size()]});
+  }
+  // Fresh, un-memoized certificate for the concurrent pass, so the racing
+  // threads also exercise first-resolution inserts, not only memo hits.
+  const ClassifiedProblem fresh = classify(lifted, options);
+  const LinearGapCertificate& shared = fresh.linear_certificate();
+  std::vector<BlockValue> expected;
+  for (const BlockPoint& p : sample) expected.push_back(cert.value_at(p));
+
+  ThreadPool pool(8);
+  std::vector<std::future<std::size_t>> futures;
+  for (std::size_t t = 0; t < 8; ++t) {
+    futures.push_back(pool.submit([&, t]() -> std::size_t {
+      std::size_t mismatches = 0;
+      for (std::size_t round = 0; round < 50; ++round) {
+        for (std::size_t i = 0; i < sample.size(); ++i) {
+          const std::size_t j = (i + t * 7) % sample.size();
+          if (!(shared.value_at(sample[j]) == expected[j])) ++mismatches;
+          if (!(shared.value_at(sample[j].reversed(monoid)) ==
+                shared.value_at(sample[j].reversed(monoid)))) {
+            ++mismatches;
+          }
+        }
+      }
+      return mismatches;
+    }));
+  }
+  for (auto& f : futures) EXPECT_EQ(f.get(), 0u);
 }
 
 TEST(CanonicalKey, IgnoresNamesButSeesConstraints) {

@@ -1,14 +1,20 @@
-// Differential property tests for the two decide_linear_gap engines
-// (ISSUE 2 tentpole): the factorized aggregate search must agree with the
-// legacy pair-wise oracle on feasibility everywhere the oracle can run,
-// and every feasible certificate — from either engine — must satisfy the
-// paper's gluing requirement and drive the synthesized Theta(log* n)
-// algorithm to verifier-accepted outputs on random instances.
+// Differential property tests for the two decide_linear_gap engines and
+// the two certificate backends (ISSUE 2 tentpole, extended by ISSUE 5):
+// the factorized aggregate search must agree with the legacy pair-wise
+// oracle on feasibility everywhere the oracle can run; the lazy
+// class-indexed certificate must agree with the dense materialization
+// point by point (same domain order, same first-valid value — the
+// determinism contract); and every feasible certificate — from either
+// engine, on either backend — must satisfy the paper's gluing requirement
+// and drive the synthesized Theta(log* n) algorithm to verifier-accepted
+// outputs on random instances.
 #include <gtest/gtest.h>
 
 #include <map>
+#include <stdexcept>
 #include <tuple>
 #include <utility>
+#include <vector>
 
 #include "decide/classifier.hpp"
 #include "hardness/undirected.hpp"
@@ -26,6 +32,17 @@ Monoid monoid_of(const PairwiseProblem& problem) {
 /// where it answers in well under a second even in Debug builds.
 constexpr std::size_t kOracleDomainLimit = 4096;
 
+/// The feasible function as explicit (point, value) rows in the canonical
+/// enumeration order — the common currency for cross-backend comparisons.
+std::vector<std::pair<BlockPoint, BlockValue>> collect(const LinearGapCertificate& cert) {
+  std::vector<std::pair<BlockPoint, BlockValue>> rows;
+  rows.reserve(cert.domain_size());
+  cert.for_each_point([&](const BlockPoint& point, const BlockValue& value) {
+    rows.emplace_back(point, value);
+  });
+  return rows;
+}
+
 /// Checks the full paper requirement on a feasible certificate by brute
 /// force: every ordered pair of domain points (left role x right role),
 /// every orientation combo on undirected topologies. Quadratic — only for
@@ -35,21 +52,16 @@ void expect_certificate_glues_pairwise(const Monoid& monoid,
   ASSERT_TRUE(cert.feasible);
   const TransitionSystem& ts = monoid.transitions();
   const bool directed = is_directed(ts.problem().topology());
-  const std::size_t n = cert.domain.size();
+  const auto rows = collect(cert);
+  const std::size_t n = rows.size();
+  ASSERT_EQ(n, cert.domain_size());
 
-  // Reversed point of each domain point (identity for directed problems).
-  std::vector<std::size_t> rho(n);
+  // Value of each point's reversal (identity for directed problems): the
+  // reversed point is itself a domain point, so value_at must serve it.
+  std::vector<BlockValue> rev_value(n);
   for (std::size_t i = 0; i < n; ++i) {
-    if (directed) {
-      rho[i] = i;
-      continue;
-    }
-    const BlockPoint& p = cert.domain[i];
-    BlockKind kind = p.kind;
-    if (kind == BlockKind::kLeftEnd) kind = BlockKind::kRightEnd;
-    if (p.kind == BlockKind::kRightEnd) kind = BlockKind::kLeftEnd;
-    rho[i] = cert.index.at(BlockPoint{kind, monoid.reversed_index(p.right), p.s1, p.s0,
-                                      monoid.reversed_index(p.left)});
+    rev_value[i] =
+        directed ? rows[i].second : cert.value_at(rows[i].first.reversed(monoid));
   }
 
   std::map<std::tuple<std::size_t, std::size_t, Label>, BitMatrix> glue;
@@ -65,15 +77,15 @@ void expect_certificate_glues_pairwise(const Monoid& monoid,
   };
 
   for (std::size_t i = 0; i < n; ++i) {
-    const BlockPoint& p1 = cert.domain[i];
+    const BlockPoint& p1 = rows[i].first;
     if (p1.kind == BlockKind::kRightEnd) continue;  // no left role
-    const Label sym1_f = cert.choice[i].b;
-    const Label sym1_r = cert.choice[rho[i]].a;
+    const Label sym1_f = rows[i].second.b;
+    const Label sym1_r = rev_value[i].a;
     for (std::size_t j = 0; j < n; ++j) {
-      const BlockPoint& p2 = cert.domain[j];
+      const BlockPoint& p2 = rows[j].first;
       if (p2.kind == BlockKind::kLeftEnd) continue;  // no right role
-      const Label sym2_f = cert.choice[j].a;
-      const Label sym2_r = cert.choice[rho[j]].b;
+      const Label sym2_f = rows[j].second.a;
+      const Label sym2_r = rev_value[j].b;
       const BitMatrix* g = glue_of(p1.right, p2.left, p2.s0);
       ASSERT_TRUE(g->get(sym1_f, sym2_f)) << "pair (" << i << ", " << j << ") F/F";
       if (directed) continue;
@@ -105,9 +117,7 @@ void expect_certificate_glues_aggregate(const Monoid& monoid,
     auto [it, inserted] = table.try_emplace(key, BitVector(beta));
     it->second.set(sym, true);
   };
-  for (std::size_t i = 0; i < cert.domain.size(); ++i) {
-    const BlockPoint& p = cert.domain[i];
-    const BlockValue v = cert.choice[i];
+  cert.for_each_point([&](const BlockPoint& p, const BlockValue& v) {
     if (p.kind != BlockKind::kRightEnd) {  // left role
       mark(emit, p.right, v.b);
       if (!directed) mark(accept, std::pair(monoid.reversed_index(p.right), p.s1), v.b);
@@ -116,7 +126,7 @@ void expect_certificate_glues_aggregate(const Monoid& monoid,
       mark(accept, std::pair(p.left, p.s0), v.a);
       if (!directed) mark(emit, monoid.reversed_index(p.left), v.a);
     }
-  }
+  });
   for (const auto& [e1, syms1] : emit) {
     for (const auto& [key2, syms2] : accept) {
       const BitMatrix g = monoid.element(e1).fwd * monoid.element(key2.first).fwd *
@@ -134,21 +144,53 @@ void expect_certificate_glues_aggregate(const Monoid& monoid,
   }
 }
 
-/// Runs both engines on one monoid and cross-checks everything affordable.
+/// The ISSUE 5 determinism contract: the lazy certificate enumerates the
+/// same domain in the same order as the dense one, resolves every point to
+/// the same value, and serves the same values through value_at.
+void expect_backends_agree_pointwise(const LinearGapCertificate& dense,
+                                     const LinearGapCertificate& lazy) {
+  ASSERT_EQ(dense.feasible, lazy.feasible);
+  if (!dense.feasible) return;
+  ASSERT_EQ(dense.backend(), CertificateBackend::kDense);
+  ASSERT_EQ(lazy.backend(), CertificateBackend::kLazy);
+  ASSERT_EQ(dense.ell_ctx, lazy.ell_ctx);
+  ASSERT_EQ(dense.domain_size(), lazy.domain_size());
+  const auto dense_rows = collect(dense);
+  const auto lazy_rows = collect(lazy);
+  ASSERT_TRUE(dense_rows == lazy_rows);
+  for (const auto& [point, value] : dense_rows) {
+    ASSERT_TRUE(lazy.contains(point));
+    ASSERT_TRUE(lazy.value_at(point) == value);
+  }
+}
+
+/// Runs both engines (and both factorized backends) on one monoid and
+/// cross-checks everything affordable.
 void run_differential(const PairwiseProblem& problem) {
   SCOPED_TRACE(problem.name() + " on " + to_string(problem.topology()));
   const Monoid monoid = monoid_of(problem);
-  const LinearGapCertificate fac = decide_linear_gap(monoid, LinearGapEngine::kFactorized);
+  const LinearGapCertificate fac =
+      decide_linear_gap(monoid, LinearGapEngine::kFactorized, CertificateMode::kDense);
+  const LinearGapCertificate lazy =
+      decide_linear_gap(monoid, LinearGapEngine::kFactorized, CertificateMode::kLazy);
   const LinearGapCertificate pair = decide_linear_gap(monoid, LinearGapEngine::kPairwise);
   ASSERT_EQ(fac.feasible, pair.feasible);
+  expect_backends_agree_pointwise(fac, lazy);
   if (!fac.feasible) return;
-  // Same domain, same order — the certificate layout contract.
+  // Same domain, same order — the certificate layout contract (the
+  // engines' chosen values may differ; the backends' may not).
   ASSERT_EQ(fac.ell_ctx, pair.ell_ctx);
-  ASSERT_TRUE(fac.domain == pair.domain);
+  const auto fac_rows = collect(fac);
+  const auto pair_rows = collect(pair);
+  ASSERT_EQ(fac_rows.size(), pair_rows.size());
+  for (std::size_t i = 0; i < fac_rows.size(); ++i) {
+    ASSERT_TRUE(fac_rows[i].first == pair_rows[i].first) << "domain order at " << i;
+  }
   expect_certificate_glues_aggregate(monoid, fac);
   expect_certificate_glues_aggregate(monoid, pair);
-  if (fac.domain.size() <= kOracleDomainLimit) {
+  if (fac.domain_size() <= kOracleDomainLimit) {
     expect_certificate_glues_pairwise(monoid, fac);
+    expect_certificate_glues_pairwise(monoid, lazy);
     expect_certificate_glues_pairwise(monoid, pair);
   }
 }
@@ -162,7 +204,9 @@ TEST(LinearGapDiff, EnginesAgreeOnEveryCatalogProblem) {
 // The Section 3.7 undirected lifts — the domains the pair-wise oracle
 // cannot search (the smallest is ~6 * 10^4 points, and the oracle is
 // quadratic in them), which is why the factorized certificates are instead
-// validated against the gluing requirement in aggregate form.
+// validated against the gluing requirement in aggregate form. These
+// domains are past the kAuto dense limit, so this also pins that the
+// default certificate on lifted problems is the lazy backend.
 TEST(LinearGapDiff, FactorizedCertificatesGlueOnUndirectedLifts) {
   const PairwiseProblem sources[] = {
       catalog::coloring(3, Topology::kDirectedPath),
@@ -178,7 +222,85 @@ TEST(LinearGapDiff, FactorizedCertificatesGlueOnUndirectedLifts) {
     const LinearGapCertificate cert = decide_linear_gap(monoid);
     // 2-coloring stays linear under the lift; the rest become feasible.
     ASSERT_EQ(cert.feasible, source.name() != "2-coloring");
-    if (cert.feasible) expect_certificate_glues_aggregate(monoid, cert);
+    if (!cert.feasible) continue;
+    // kAuto picks the backend by domain size; the path lifts (~1.8 * 10^5
+    // points) land on the lazy side of the limit.
+    EXPECT_EQ(cert.backend(), linear_gap_domain_size(monoid) > kCertificateAutoDenseLimit
+                                  ? CertificateBackend::kLazy
+                                  : CertificateBackend::kDense);
+    expect_certificate_glues_aggregate(monoid, cert);
+  }
+}
+
+// A lazy certificate on a lifted domain must agree with the dense
+// materialization of the same class solution — the full pointwise sweep
+// over a ~10^5-point lifted domain (cheap: the dense side is one
+// enumeration, the lazy side memoized class lookups).
+TEST(LinearGapDiff, LazyAgreesWithDenseOnLiftedColoringPath) {
+  const PairwiseProblem lifted =
+      hardness::lift_to_undirected(catalog::coloring(3, Topology::kDirectedPath));
+  const Monoid monoid = monoid_of(lifted);
+  const LinearGapCertificate dense =
+      decide_linear_gap(monoid, LinearGapEngine::kFactorized, CertificateMode::kDense);
+  const LinearGapCertificate lazy =
+      decide_linear_gap(monoid, LinearGapEngine::kFactorized, CertificateMode::kLazy);
+  expect_backends_agree_pointwise(dense, lazy);
+}
+
+// Reversed-point lookups on undirected topologies: for every domain point
+// p, rho(p) is a domain point too, and both backends must resolve it to
+// the same value (the undirected synthesis strategies look blocks up
+// through exactly this reversal).
+TEST(LinearGapDiff, ReversedPointLookupsAgreeBetweenBackends) {
+  const PairwiseProblem lifted =
+      hardness::lift_to_undirected(catalog::constant_output(Topology::kDirectedPath));
+  const Monoid monoid = monoid_of(lifted);
+  const LinearGapCertificate dense =
+      decide_linear_gap(monoid, LinearGapEngine::kFactorized, CertificateMode::kDense);
+  const LinearGapCertificate lazy =
+      decide_linear_gap(monoid, LinearGapEngine::kFactorized, CertificateMode::kLazy);
+  ASSERT_TRUE(dense.feasible);
+  dense.for_each_point([&](const BlockPoint& point, const BlockValue&) {
+    const BlockPoint rev = point.reversed(monoid);
+    ASSERT_TRUE(dense.contains(rev));
+    ASSERT_TRUE(lazy.contains(rev));
+    ASSERT_TRUE(dense.value_at(rev) == lazy.value_at(rev));
+  });
+}
+
+// Out-of-domain lookups indicate a synthesis bug; both backends must
+// reject them with the identical std::logic_error message.
+TEST(LinearGapDiff, ValueAtUnknownPointThrowsSameMessageOnBothBackends) {
+  const Monoid monoid = monoid_of(catalog::coloring(3));
+  const LinearGapCertificate dense =
+      decide_linear_gap(monoid, LinearGapEngine::kFactorized, CertificateMode::kDense);
+  const LinearGapCertificate lazy =
+      decide_linear_gap(monoid, LinearGapEngine::kFactorized, CertificateMode::kLazy);
+  ASSERT_TRUE(dense.feasible);
+  ASSERT_TRUE(lazy.feasible);
+  const BlockPoint bad_element{BlockKind::kInterior, monoid.size() + 7, 0, 0, 0};
+  const BlockPoint bad_input{BlockKind::kInterior, 0, 99, 0, 0};
+  // Cycles have no end-block points at all.
+  const BlockPoint bad_kind{BlockKind::kLeftEnd, 0, 0, 0, 0};
+  for (const BlockPoint& bad : {bad_element, bad_input, bad_kind}) {
+    EXPECT_FALSE(dense.contains(bad));
+    EXPECT_FALSE(lazy.contains(bad));
+    std::string dense_message;
+    std::string lazy_message;
+    try {
+      dense.value_at(bad);
+      FAIL() << "dense value_at accepted an out-of-domain point";
+    } catch (const std::logic_error& e) {
+      dense_message = e.what();
+    }
+    try {
+      lazy.value_at(bad);
+      FAIL() << "lazy value_at accepted an out-of-domain point";
+    } catch (const std::logic_error& e) {
+      lazy_message = e.what();
+    }
+    EXPECT_EQ(dense_message, lazy_message);
+    EXPECT_EQ(dense_message, "LinearGapCertificate::value_at: point not in domain");
   }
 }
 
@@ -228,22 +350,36 @@ TEST(LinearGapDiff, EnginesAgreeOnRandomProblems) {
 }
 
 // "Certificates the verifier accepts": classify log*-class catalog
-// problems with each engine and simulate the synthesized algorithm built
-// from that engine's certificate on random instances.
-TEST(LinearGapDiff, BothEnginesCertificatesDriveSynthesizedLogStar) {
+// problems with each engine/backend combination and simulate the
+// synthesized algorithm built from that certificate on random instances —
+// in particular, SynthesizedLogStar must run off a *lazy* certificate.
+TEST(LinearGapDiff, AllCertificateConfigurationsDriveSynthesizedLogStar) {
+  struct Config {
+    LinearGapEngine engine;
+    CertificateMode mode;
+    const char* tag;
+  };
+  const Config configs[] = {
+      {LinearGapEngine::kFactorized, CertificateMode::kDense, " [factorized/dense]"},
+      {LinearGapEngine::kFactorized, CertificateMode::kLazy, " [factorized/lazy]"},
+      {LinearGapEngine::kPairwise, CertificateMode::kAuto, " [pairwise]"},
+  };
   Rng rng(314159);
-  for (const LinearGapEngine engine :
-       {LinearGapEngine::kFactorized, LinearGapEngine::kPairwise}) {
+  for (const Config& config : configs) {
     for (PairwiseProblem problem :
          {catalog::coloring(3), catalog::maximal_independent_set(),
           catalog::input_gated_coloring()}) {
-      SCOPED_TRACE(problem.name() + (engine == LinearGapEngine::kPairwise
-                                         ? " [pairwise]"
-                                         : " [factorized]"));
+      SCOPED_TRACE(problem.name() + config.tag);
       ClassifyOptions options;
-      options.linear_engine = engine;
+      options.linear_engine = config.engine;
+      options.certificate_mode = config.mode;
       const ClassifiedProblem result = classify(problem, options);
       ASSERT_EQ(result.complexity(), ComplexityClass::kLogStar) << result.summary();
+      if (config.engine == LinearGapEngine::kFactorized) {
+        ASSERT_EQ(result.linear_certificate().backend(),
+                  config.mode == CertificateMode::kLazy ? CertificateBackend::kLazy
+                                                        : CertificateBackend::kDense);
+      }
       const auto algorithm = result.synthesize();
       const std::size_t r = algorithm->radius(1 << 20);
       for (const std::size_t n : {2 * r + 5, 2 * r + 38}) {

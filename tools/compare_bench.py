@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Compare a fresh benchmark JSON against the committed baseline.
+
+Usage: compare_bench.py BASELINE FRESH [--max-slowdown X]
+
+The committed BENCH_*.json files at the repo root are the tracked perf
+trajectory; CI regenerates each one and runs this check so the trajectory
+is compared in-repo instead of only living in ephemeral artifacts.
+
+Policy (kept deliberately coarse — the baseline may come from a different
+machine than the runner, so absolute timings can legitimately differ by
+several x):
+  * structural drift fails: different keys, row counts, problem names,
+    feasibility/complexity verdicts, element/point counts, or a metric
+    flipping between measured and null (e.g. a phase that used to run now
+    being skipped);
+  * timing/memory metrics (keys ending in _s, _ms, _us, _mb) fail only on
+    order-of-magnitude regressions: fresh > max-slowdown x baseline AND
+    above a per-unit noise floor. Improvements and noise-level wiggle just
+    print. The tight absolute budgets live in the benches' --perf-smoke
+    modes; this gate exists to catch structural drift and gross
+    (lazy-certificate-sized) slowdowns, not single-digit percentages.
+
+Exit code 0 = within policy, 1 = regression or drift (fails the CI step).
+"""
+
+import argparse
+import json
+import sys
+
+# Metric suffix -> noise floor in that unit. Below the floor a value is
+# measurement noise (or plain machine-speed variation on a tiny row) and
+# never fails, no matter the ratio.
+METRIC_FLOORS = {"_s": 0.25, "_ms": 25.0, "_us": 25.0, "_mb": 100.0}
+
+
+def metric_floor(key):
+    for suffix, floor in METRIC_FLOORS.items():
+        if key.endswith(suffix):
+            return floor
+    return None
+
+
+def walk(baseline, fresh, path, report):
+    if isinstance(baseline, dict) and isinstance(fresh, dict):
+        if set(baseline) != set(fresh):
+            report.drift(path, f"keys {sorted(set(baseline) ^ set(fresh))} differ")
+            return
+        for key in baseline:
+            walk(baseline[key], fresh[key], f"{path}.{key}" if path else key, report)
+    elif isinstance(baseline, list) and isinstance(fresh, list):
+        if len(baseline) != len(fresh):
+            report.drift(path, f"row count {len(baseline)} -> {len(fresh)}")
+            return
+        for i, (b, f) in enumerate(zip(baseline, fresh)):
+            # Rows with a "problem" field index by name for readable paths.
+            tag = b.get("problem", i) if isinstance(b, dict) else i
+            walk(b, f, f"{path}[{tag}]", report)
+    else:
+        compare_leaf(baseline, fresh, path, report)
+
+
+def compare_leaf(baseline, fresh, path, report):
+    key = path.rsplit(".", 1)[-1]
+    floor = metric_floor(key)
+    if floor is not None:
+        if (baseline is None) != (fresh is None):
+            report.drift(path, f"measured/null flip: {baseline} -> {fresh}")
+        elif baseline is not None:
+            report.metric(path, float(baseline), float(fresh), floor)
+        return
+    if isinstance(baseline, float) or isinstance(fresh, float):
+        # Non-metric floats (e.g. hit_rate) carry semantics: tight tolerance.
+        if abs(float(baseline) - float(fresh)) > 1e-6:
+            report.drift(path, f"{baseline} -> {fresh}")
+        return
+    if baseline != fresh:
+        report.drift(path, f"{baseline!r} -> {fresh!r}")
+
+
+class Report:
+    def __init__(self, max_slowdown):
+        self.max_slowdown = max_slowdown
+        self.failures = []
+        self.lines = []
+
+    def drift(self, path, message):
+        self.failures.append(f"DRIFT  {path}: {message}")
+
+    def metric(self, path, baseline, fresh, floor):
+        ratio = fresh / baseline if baseline > 0 else float("inf")
+        line = f"{path}: {baseline:.4f} -> {fresh:.4f}"
+        if fresh > floor and baseline > 0 and ratio > self.max_slowdown:
+            self.failures.append(f"REGRESSION  {line}  ({ratio:.1f}x, limit "
+                                 f"{self.max_slowdown:.1f}x)")
+        elif fresh > max(floor, baseline * 1.5) or (baseline > floor
+                                                    and fresh < baseline / 1.5):
+            self.lines.append(f"  note  {line}")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--max-slowdown", type=float, default=10.0,
+                        help="fail when a metric above its noise floor is this "
+                             "many times slower than the baseline (generous: "
+                             "the baseline machine and the runner differ)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    report = Report(args.max_slowdown)
+    walk(baseline, fresh, "", report)
+
+    print(f"compare_bench: {args.fresh} vs baseline {args.baseline}")
+    for line in report.lines:
+        print(line)
+    if report.failures:
+        for failure in report.failures:
+            print(failure)
+        print(f"compare_bench: {len(report.failures)} failure(s)")
+        return 1
+    print("compare_bench: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
