@@ -1,9 +1,17 @@
 // Experiment E2 (Figure 2): every corruption kind gets a locally
 // checkable error-chain proof from the Section 3.3 solver.
+//
+// `--emit-json[=path]` writes an {"error_chains": ...} section (merged
+// into BENCH_hardness.json by tools/run_bench_gate.sh);
+// `--perf-smoke[=seconds]` bounds the preamble and asserts every
+// applicable corruption's output verifies.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "hardness/solver.hpp"
 #include "lba/machines.hpp"
 
@@ -11,6 +19,7 @@ namespace {
 
 using namespace lclpath;
 using namespace lclpath::hardness;
+using clock_type = std::chrono::steady_clock;
 
 const char* corruption_name(Corruption c) {
   switch (c) {
@@ -43,44 +52,117 @@ void SolveCorrupted(benchmark::State& state) {
 }
 BENCHMARK(SolveCorrupted)->DenseRange(0, 6);
 
-}  // namespace
+struct ChainRow {
+  std::string corruption;
+  bool applicable = false;  ///< corrupt() can produce this kind here
+  bool verified = false;
+  int error_kinds = 0;      ///< distinct specific-error labels in the proof
+  double solve_us = 0;
+};
 
-int main(int argc, char** argv) {
-  using namespace lclpath;
-  using namespace lclpath::hardness;
-  std::printf("=== E2: error chains per corruption kind (B = 3, unary counter) ===\n");
-  std::printf("%-22s %10s %16s\n", "corruption", "verified", "error labels used");
+std::vector<ChainRow> run_chains() {
   const std::size_t b = 3;
   const auto machine = lba::unary_counter();
   const auto run = lba::run(machine, b);
   const PiProblem problem(machine, b);
   const PiSolver solver(problem, run.steps);
   const std::size_t n = encoding_length(b, run.steps) + 8;
+
+  std::vector<ChainRow> rows;
   for (int k = 0; k <= 6; ++k) {
     const auto corruption = static_cast<Corruption>(k);
+    ChainRow row;
+    row.corruption = corruption_name(corruption);
     auto input = good_input(machine, b, Secret::kA, run.steps, n);
     try {
       input = corrupt(machine, b, std::move(input), corruption, 2);
+      row.applicable = true;
     } catch (const std::exception&) {
-      std::printf("%-22s %10s\n", corruption_name(corruption), "n/a");
+      rows.push_back(std::move(row));
       continue;
     }
-    const auto output = solver.solve(input);
-    const bool ok = problem.verify(input, output).ok;
-    // Count distinct error kinds used.
-    int kinds = 0;
+
+    constexpr std::size_t kReps = 100;
+    const auto t0 = clock_type::now();
+    std::vector<OutLabel> output;
+    for (std::size_t rep = 0; rep < kReps; ++rep) {
+      output = solver.solve(input);
+      benchmark::DoNotOptimize(output);
+    }
+    const auto t1 = clock_type::now();
+    row.solve_us = std::chrono::duration<double, std::micro>(t1 - t0).count() / kReps;
+
+    row.verified = problem.verify(input, output).ok;
     bool seen[16] = {};
     for (const OutLabel& o : output) {
       if (o.is_specific_error() && !seen[static_cast<int>(o.kind)]) {
         seen[static_cast<int>(o.kind)] = true;
-        ++kinds;
+        ++row.error_kinds;
       }
     }
-    std::printf("%-22s %10s %16d\n", corruption_name(corruption), ok ? "yes" : "NO",
-                kinds);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void print_table(const std::vector<ChainRow>& rows) {
+  std::printf("=== E2: error chains per corruption kind (B = 3, unary counter) ===\n");
+  std::printf("%-22s %10s %16s %12s\n", "corruption", "verified", "error labels used",
+              "solve");
+  for (const ChainRow& r : rows) {
+    if (!r.applicable) {
+      std::printf("%-22s %10s\n", r.corruption.c_str(), "n/a");
+      continue;
+    }
+    std::printf("%-22s %10s %16d %10.3fus\n", r.corruption.c_str(),
+                r.verified ? "yes" : "NO", r.error_kinds, r.solve_us);
   }
   std::printf("\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+}
+
+using benchjson::json_escaped;
+
+void write_json(const std::vector<ChainRow>& rows, const char* path) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(out, "{\n  \"error_chains\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ChainRow& r = rows[i];
+    std::fprintf(out, "    {\"corruption\": \"%s\", \"applicable\": %s, ",
+                 json_escaped(r.corruption).c_str(), r.applicable ? "true" : "false");
+    if (r.applicable) {
+      std::fprintf(out,
+                   "\"verified\": %s, \"error_kinds\": %d, \"solve_us\": %.4f}",
+                   r.verified ? "true" : "false", r.error_kinds, r.solve_us);
+    } else {
+      std::fprintf(out, "\"verified\": null, \"error_kinds\": null, \"solve_us\": null}");
+    }
+    std::fprintf(out, "%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchjson::Harness harness(argc, argv, "BENCH_error_chains.json");
+  if (harness.filtered_only()) return harness.run_benchmarks();
+
+  const std::vector<ChainRow> rows = run_chains();
+  print_table(rows);
+  if (harness.emit_json()) write_json(rows, harness.json_path());
+
+  harness.check_smoke_budget();
+  bool all_verified = true;
+  for (const ChainRow& r : rows) {
+    if (r.applicable) all_verified = all_verified && r.verified;
+  }
+  harness.require(all_verified, "every applicable corruption's proof verifies");
+
+  return harness.run_benchmarks();
 }

@@ -44,26 +44,8 @@ namespace {
 using namespace lclpath;
 using clock_type = std::chrono::steady_clock;
 
-/// Current resident set in MB (Linux /proc; 0 where unavailable). Deltas
-/// around a phase attribute its working-set growth; allocator caching
-/// makes small deltas noisy, but the GB-vs-MB certificate split this
-/// reports is orders of magnitude.
-double current_rss_mb() {
-  std::ifstream statm("/proc/self/statm");
-  long long pages_total = 0;
-  long long pages_resident = 0;
-  if (!(statm >> pages_total >> pages_resident)) return 0;
-  return static_cast<double>(pages_resident) *
-         static_cast<double>(sysconf(_SC_PAGESIZE)) / (1024.0 * 1024.0);
-}
-
-/// Process-wide peak resident set in MB (monotone; reported once at the
-/// end of the preamble).
-double peak_rss_mb() {
-  struct rusage usage{};
-  getrusage(RUSAGE_SELF, &usage);
-  return static_cast<double>(usage.ru_maxrss) / 1024.0;
-}
+using benchjson::current_rss_mb;
+using benchjson::peak_rss_mb;
 
 void SimulateRegime(benchmark::State& state) {
   // 0 = constant, 1 = logstar, 2 = linear
@@ -395,38 +377,8 @@ BENCHMARK(DecideLinearGapEngines)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)
 int main(int argc, char** argv) {
   using namespace lclpath;
 
-  // --emit-json[=path] / --perf-smoke[=seconds] are ours, not
-  // google-benchmark's; strip them (same convention as bench_monoid).
-  const char* json_path = nullptr;
-  double smoke_budget_s = -1;
-  bool filtered = false;
-  std::vector<char*> args;
-  for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--emit-json") == 0) {
-      json_path = "BENCH_linear_gap.json";
-    } else if (std::strncmp(argv[i], "--emit-json=", 12) == 0) {
-      json_path = argv[i] + 12;
-    } else if (std::strcmp(argv[i], "--perf-smoke") == 0) {
-      smoke_budget_s = 60;
-    } else if (std::strncmp(argv[i], "--perf-smoke=", 13) == 0) {
-      smoke_budget_s = std::atof(argv[i] + 13);
-    } else {
-      if (std::strstr(argv[i], "--benchmark_filter") != nullptr) filtered = true;
-      args.push_back(argv[i]);
-    }
-  }
-  int filtered_argc = static_cast<int>(args.size());
-  int exit_code = 0;
-
-  // A filtered run wants one benchmark, not the fixed-cost experiment
-  // preamble (same convention as bench_classifier).
-  if (filtered && json_path == nullptr && smoke_budget_s < 0) {
-    benchmark::Initialize(&filtered_argc, args.data());
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
-  }
-
-  const auto smoke_t0 = clock_type::now();
+  benchjson::Harness harness(argc, argv, "BENCH_linear_gap.json");
+  if (harness.filtered_only()) return harness.run_benchmarks();
 
   std::printf("=== E9: rounds (view radius) vs n for the three regimes ===\n");
   const auto constant = classify(catalog::constant_output()).synthesize();
@@ -444,42 +396,27 @@ int main(int argc, char** argv) {
   print_gap_table(rows);
   const std::vector<EndToEndMeasurement> e2e = run_end_to_end();
   print_end_to_end(e2e);
-  if (json_path != nullptr) write_gap_json(rows, e2e, json_path);
+  if (harness.emit_json()) write_gap_json(rows, e2e, harness.json_path());
   for (const GapMeasurement& r : rows) {
     // An engine disagreement must fail the process (CI runs this binary as
     // its own step), not just leave a line in the log.
-    if (r.mismatch) exit_code = 1;
+    if (r.mismatch) harness.fail();
   }
 
-  if (smoke_budget_s >= 0) {
-    const double elapsed =
-        std::chrono::duration<double>(clock_type::now() - smoke_t0).count();
-    const bool ok = elapsed <= smoke_budget_s;
-    std::printf("perf smoke: fixed-cost experiments took %.2fs (budget %.0fs): %s\n",
-                elapsed, smoke_budget_s, ok ? "OK" : "FAIL");
-    if (!ok) exit_code = 1;
-    // The ISSUE 5 regression tripwire: the lifted shift-input end-to-end
-    // classify must stay lazy-certificate fast (~1 s in Release). A sixth
-    // of the smoke budget (10 s under CI's --perf-smoke=60) is ~10x
-    // headroom over the healthy time yet far below the ~30 s
-    // eager-materialization regression — a partial slide fails too.
-    bool found = false;
-    for (const EndToEndMeasurement& r : e2e) {
-      if (r.problem != kSmokeProblem) continue;
-      found = true;
-      const double budget = smoke_budget_s / 6;
-      const bool row_ok = r.classify_s <= budget;
-      std::printf("perf smoke: lifted shift-input end-to-end %.2fs (budget %.0fs): %s\n",
-                  r.classify_s, budget, row_ok ? "OK" : "FAIL");
-      if (!row_ok) exit_code = 1;
-    }
-    if (!found) {
-      std::printf("perf smoke: lifted shift-input row missing: FAIL\n");
-      exit_code = 1;
-    }
+  harness.check_smoke_budget();
+  // The ISSUE 5 regression tripwire: the lifted shift-input end-to-end
+  // classify must stay lazy-certificate fast (~1 s in Release). A sixth
+  // of the smoke budget (10 s under CI's --perf-smoke=60) is ~10x
+  // headroom over the healthy time yet far below the ~30 s
+  // eager-materialization regression — a partial slide fails too.
+  bool found = false;
+  for (const EndToEndMeasurement& r : e2e) {
+    if (r.problem != kSmokeProblem) continue;
+    found = true;
+    harness.check_smoke("lifted shift-input end-to-end", r.classify_s,
+                        harness.smoke_budget_s() / 6);
   }
+  harness.require(found, "lifted shift-input row present");
 
-  benchmark::Initialize(&filtered_argc, args.data());
-  benchmark::RunSpecifiedBenchmarks();
-  return exit_code;
+  return harness.run_benchmarks();
 }

@@ -1,7 +1,31 @@
-// Shared helper for the bench binaries' --emit-json CI artifacts.
+// Shared harness for the bench binaries' CI modes.
+//
+// Every bench binary speaks the same protocol (one implementation here so
+// the binaries can never drift apart):
+//
+//   --emit-json[=path]     write the fixed-cost experiment measurements as
+//                          machine-readable JSON (default path per binary;
+//                          committed at the repo root as the tracked
+//                          baseline, regenerated and compared by CI);
+//   --perf-smoke[=seconds] bound the fixed-cost experiments' wall clock
+//                          and run the binary's structural assertions —
+//                          the regression tripwires CI fails loudly on;
+//   --benchmark_filter=... (google-benchmark's flag) on its own skips the
+//                          fixed-cost preamble entirely: a filtered run
+//                          wants one benchmark, not the experiment suite.
 #pragma once
 
+#include <benchmark/benchmark.h>
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 namespace lclpath::benchjson {
 
@@ -16,5 +40,127 @@ inline std::string json_escaped(const std::string& raw) {
   }
   return out;
 }
+
+/// Current resident set in MB (Linux /proc; 0 where unavailable). Deltas
+/// around a phase attribute its working-set growth; allocator caching
+/// makes small deltas noisy, but the GB-vs-MB splits benches report with
+/// this are orders of magnitude.
+inline double current_rss_mb() {
+  std::ifstream statm("/proc/self/statm");
+  long long pages_total = 0;
+  long long pages_resident = 0;
+  if (!(statm >> pages_total >> pages_resident)) return 0;
+  return static_cast<double>(pages_resident) *
+         static_cast<double>(sysconf(_SC_PAGESIZE)) / (1024.0 * 1024.0);
+}
+
+/// Process-wide peak resident set in MB (monotone).
+inline double peak_rss_mb() {
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+/// Parses and owns the --emit-json / --perf-smoke / filtered-run state for
+/// one bench binary's main().
+///
+///   int main(int argc, char** argv) {
+///     benchjson::Harness harness(argc, argv, "BENCH_foo.json");
+///     if (harness.filtered_only()) return harness.run_benchmarks();
+///     ... fixed-cost experiments, tables ...
+///     if (harness.emit_json()) write_json(rows, harness.json_path());
+///     harness.check_smoke_budget();
+///     harness.require(some_invariant, "what the tripwire guards");
+///     return harness.run_benchmarks();
+///   }
+class Harness {
+ public:
+  Harness(int argc, char** argv, const char* default_json_path)
+      : t0_(std::chrono::steady_clock::now()) {
+    for (int i = 0; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--emit-json") == 0) {
+        json_path_ = default_json_path;
+      } else if (std::strncmp(argv[i], "--emit-json=", 12) == 0) {
+        json_path_ = argv[i] + 12;
+      } else if (std::strcmp(argv[i], "--perf-smoke") == 0) {
+        smoke_budget_s_ = 60;
+      } else if (std::strncmp(argv[i], "--perf-smoke=", 13) == 0) {
+        smoke_budget_s_ = std::atof(argv[i] + 13);
+      } else {
+        if (std::strstr(argv[i], "--benchmark_filter") != nullptr) filtered_ = true;
+        args_.push_back(argv[i]);
+      }
+    }
+  }
+
+  /// Path for the JSON artifact; null when --emit-json was not given.
+  const char* json_path() const { return json_path_; }
+  bool emit_json() const { return json_path_ != nullptr; }
+
+  double smoke_budget_s() const { return smoke_budget_s_; }
+  bool smoke() const { return smoke_budget_s_ >= 0; }
+
+  /// True when the invocation is a plain filtered benchmark run (and not a
+  /// JSON/smoke run): the caller should skip the fixed-cost preamble and
+  /// go straight to run_benchmarks().
+  bool filtered_only() const {
+    return filtered_ && json_path_ == nullptr && smoke_budget_s_ < 0;
+  }
+
+  /// Seconds since the harness was constructed (the preamble wall clock).
+  double elapsed_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+        .count();
+  }
+
+  /// The overall --perf-smoke wall-clock bound. No-op without --perf-smoke.
+  void check_smoke_budget() {
+    if (!smoke()) return;
+    const double elapsed = elapsed_s();
+    const bool ok = elapsed <= smoke_budget_s_;
+    std::printf("perf smoke: fixed-cost experiments took %.2fs (budget %.0fs): %s\n",
+                elapsed, smoke_budget_s_, ok ? "OK" : "FAIL");
+    if (!ok) exit_code_ = 1;
+  }
+
+  /// A named sub-budget (one experiment bounded tighter than the whole
+  /// preamble). No-op without --perf-smoke.
+  void check_smoke(const char* label, double value_s, double budget_s) {
+    if (!smoke()) return;
+    const bool ok = value_s <= budget_s;
+    std::printf("perf smoke: %s %.2fs (budget %.2fs): %s\n", label, value_s, budget_s,
+                ok ? "OK" : "FAIL");
+    if (!ok) exit_code_ = 1;
+  }
+
+  /// A structural assertion surfaced through the smoke protocol (cache
+  /// actually hit, expected verdicts, ...). No-op without --perf-smoke.
+  void require(bool ok, const char* what) {
+    if (!smoke()) return;
+    std::printf("perf smoke: %s: %s\n", what, ok ? "OK" : "FAIL");
+    if (!ok) exit_code_ = 1;
+  }
+
+  /// Unconditional failure (engine mismatch and friends — conditions that
+  /// must fail the process even outside --perf-smoke runs).
+  void fail() { exit_code_ = 1; }
+
+  /// Runs google-benchmark on the stripped argv; returns the process exit
+  /// code (any failed check above folds in).
+  int run_benchmarks() {
+    int argc = static_cast<int>(args_.size());
+    benchmark::Initialize(&argc, args_.data());
+    benchmark::RunSpecifiedBenchmarks();
+    return exit_code_;
+  }
+
+ private:
+  const char* json_path_ = nullptr;
+  double smoke_budget_s_ = -1;
+  bool filtered_ = false;
+  std::vector<char*> args_;
+  int exit_code_ = 0;
+  std::chrono::steady_clock::time_point t0_;
+};
 
 }  // namespace lclpath::benchjson

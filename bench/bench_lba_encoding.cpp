@@ -1,9 +1,20 @@
 // Experiment E1 (Figure 1 + Section 3.3): encoding LBA executions as good
-// inputs and solving Pi_MB with the T' = 2 + (B+1)T algorithm.
+// inputs and solving Pi_MB with the T' = 2 + (B+1)T algorithm. The encoder
+// hot path steps a packed configuration against the machine's compiled
+// StepTable (built once, cached on the Machine) instead of re-deriving the
+// transition per cell; the solver shares one global first-defect scan
+// across all nodes.
+//
+// `--emit-json[=path]` writes an {"encoding": ...} section (merged into
+// BENCH_hardness.json by tools/run_bench_gate.sh); `--perf-smoke[=seconds]`
+// bounds the preamble and asserts every encoding verifies.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "hardness/solver.hpp"
 #include "lba/machines.hpp"
 
@@ -11,6 +22,7 @@ namespace {
 
 using namespace lclpath;
 using namespace lclpath::hardness;
+using clock_type = std::chrono::steady_clock;
 
 void EncodeGoodInput(benchmark::State& state) {
   const auto b = static_cast<std::size_t>(state.range(0));
@@ -40,29 +52,107 @@ void SolveGoodInput(benchmark::State& state) {
   }
   state.counters["radius"] = static_cast<double>(solver.radius());
 }
-BENCHMARK(SolveGoodInput)->Arg(2)->Arg(3)->Arg(4);
+BENCHMARK(SolveGoodInput)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
 
-}  // namespace
+struct EncodingRow {
+  std::size_t b = 0;
+  std::size_t steps = 0;
+  std::size_t enc_length = 0;
+  std::size_t radius = 0;
+  bool verified = false;
+  double encode_us = 0;
+  double solve_us = 0;
+};
 
-int main(int argc, char** argv) {
-  using namespace lclpath;
-  using namespace lclpath::hardness;
-  std::printf("=== E1: Pi_MB upper bound T' = 2+(B+1)T (unary counter) ===\n");
-  std::printf("%4s %8s %12s %12s %10s\n", "B", "T", "enc length", "radius T'", "verified");
+std::vector<EncodingRow> run_encoding() {
+  std::vector<EncodingRow> rows;
   for (std::size_t b : {2u, 3u, 4u, 5u}) {
     const auto machine = lba::unary_counter();
     const auto run = lba::run(machine, b);
     const PiProblem problem(machine, b);
     const PiSolver solver(problem, run.steps);
     const std::size_t n = encoding_length(b, run.steps) + 8;
-    const auto input = good_input(machine, b, Secret::kB, run.steps, n);
-    const auto output = solver.solve(input);
-    const bool ok = problem.verify(input, output).ok;
-    std::printf("%4zu %8zu %12zu %12zu %10s\n", b, run.steps,
-                encoding_length(b, run.steps), solver.radius(), ok ? "yes" : "NO");
+
+    EncodingRow row;
+    row.b = b;
+    row.steps = run.steps;
+    row.enc_length = encoding_length(b, run.steps);
+    row.radius = solver.radius();
+
+    // Sub-microsecond per call: average a fixed rep count instead of
+    // trusting one clock read.
+    constexpr std::size_t kReps = 200;
+    const auto t0 = clock_type::now();
+    std::vector<InLabel> input;
+    for (std::size_t rep = 0; rep < kReps; ++rep) {
+      input = good_input(machine, b, Secret::kB, run.steps, n);
+      benchmark::DoNotOptimize(input);
+    }
+    const auto t1 = clock_type::now();
+    row.encode_us = std::chrono::duration<double, std::micro>(t1 - t0).count() / kReps;
+
+    const auto t2 = clock_type::now();
+    std::vector<OutLabel> output;
+    for (std::size_t rep = 0; rep < kReps; ++rep) {
+      output = solver.solve(input);
+      benchmark::DoNotOptimize(output);
+    }
+    const auto t3 = clock_type::now();
+    row.solve_us = std::chrono::duration<double, std::micro>(t3 - t2).count() / kReps;
+
+    row.verified = problem.verify(input, output).ok;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void print_table(const std::vector<EncodingRow>& rows) {
+  std::printf("=== E1: Pi_MB upper bound T' = 2+(B+1)T (unary counter) ===\n");
+  std::printf("%4s %8s %12s %12s %10s %12s %12s\n", "B", "T", "enc length",
+              "radius T'", "verified", "encode", "solve");
+  for (const EncodingRow& r : rows) {
+    std::printf("%4zu %8zu %12zu %12zu %10s %10.3fus %10.3fus\n", r.b, r.steps,
+                r.enc_length, r.radius, r.verified ? "yes" : "NO", r.encode_us,
+                r.solve_us);
   }
   std::printf("\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+}
+
+void write_json(const std::vector<EncodingRow>& rows, const char* path) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(out, "{\n  \"encoding\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const EncodingRow& r = rows[i];
+    std::fprintf(out,
+                 "    {\"b\": %zu, \"steps\": %zu, \"enc_length\": %zu, "
+                 "\"radius\": %zu, \"verified\": %s, \"encode_us\": %.4f, "
+                 "\"solve_us\": %.4f}%s\n",
+                 r.b, r.steps, r.enc_length, r.radius, r.verified ? "true" : "false",
+                 r.encode_us, r.solve_us, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchjson::Harness harness(argc, argv, "BENCH_encoding.json");
+  if (harness.filtered_only()) return harness.run_benchmarks();
+
+  const std::vector<EncodingRow> rows = run_encoding();
+  print_table(rows);
+  if (harness.emit_json()) write_json(rows, harness.json_path());
+
+  harness.check_smoke_budget();
+  bool all_verified = true;
+  for (const EncodingRow& r : rows) all_verified = all_verified && r.verified;
+  harness.require(all_verified, "every good-input encoding verifies");
+
+  return harness.run_benchmarks();
 }

@@ -2,107 +2,142 @@
 // On good inputs the only valid outputs for encoding nodes are the
 // secret, so any algorithm must see p0 — we count, per position, how many
 // output labels survive the full-path feasibility DP.
+//
+// The DP is hardness::PiFeasibility: per-input-pair transfer matrices over
+// the output alphabet, built once and reused across positions, with the
+// forward/backward sweeps as word-parallel BitVector x BitMatrix products
+// (the scalar reference DP it replaced lives on in
+// tests/hardness_diff_test.cpp, pinning this implementation bit for bit).
+//
+// `--emit-json[=path]` writes a {"lower_bound": ...} section (merged into
+// BENCH_hardness.json by tools/run_bench_gate.sh);
+// `--perf-smoke[=seconds]` bounds the preamble and asserts the forcing
+// claim itself.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "hardness/encoder.hpp"
-#include "hardness/pi_problem.hpp"
+#include "hardness/feasibility.hpp"
 #include "lba/machines.hpp"
 
 namespace {
 
 using namespace lclpath;
 using namespace lclpath::hardness;
-
-/// Feasible output labels per position on the given input (forward +
-/// backward DP over the full-edge verifier with the last-node rule).
-std::vector<std::size_t> feasible_counts(const PiProblem& problem,
-                                         const std::vector<InLabel>& input) {
-  const PiLabels& labels = problem.labels();
-  const std::size_t n = input.size();
-  const std::size_t num_out = labels.num_outputs();
-  std::vector<std::vector<char>> reach(n, std::vector<char>(num_out, 0));
-  for (Label o = 0; o < num_out; ++o) {
-    if (problem.node_ok(0, input[0], labels.decode_output(o), nullptr, nullptr)) {
-      reach[0][o] = 1;
-    }
-  }
-  for (std::size_t v = 1; v < n; ++v) {
-    for (Label o = 0; o < num_out; ++o) {
-      const OutLabel out = labels.decode_output(o);
-      for (Label p = 0; p < num_out && !reach[v][o]; ++p) {
-        if (!reach[v - 1][p]) continue;
-        const OutLabel pred = labels.decode_output(p);
-        if (problem.node_ok(v, input[v], out, &input[v - 1], &pred)) reach[v][o] = 1;
-      }
-    }
-  }
-  std::vector<std::vector<char>> feasible = reach;
-  for (Label o = 0; o < num_out; ++o) {
-    if (!problem.allowed_at_last(labels.decode_output(o))) feasible[n - 1][o] = 0;
-  }
-  for (std::size_t v = n - 1; v > 0; --v) {
-    for (Label p = 0; p < num_out; ++p) {
-      if (!feasible[v - 1][p]) continue;
-      bool extends = false;
-      const OutLabel pred = labels.decode_output(p);
-      for (Label o = 0; o < num_out && !extends; ++o) {
-        if (!feasible[v][o]) continue;
-        extends = problem.node_ok(v, input[v], labels.decode_output(o), &input[v - 1],
-                                  &pred);
-      }
-      if (!extends) feasible[v - 1][p] = 0;
-    }
-  }
-  std::vector<std::size_t> counts(n, 0);
-  for (std::size_t v = 0; v < n; ++v) {
-    for (Label o = 0; o < num_out; ++o) counts[v] += feasible[v][o] ? 1 : 0;
-  }
-  return counts;
-}
+using clock_type = std::chrono::steady_clock;
 
 void FeasibilityDp(benchmark::State& state) {
   const auto b = static_cast<std::size_t>(state.range(0));
   const auto machine = lba::unary_counter();
   const auto run = lba::run(machine, b);
   const PiProblem problem(machine, b);
+  const PiFeasibility feasibility(problem);
   const std::size_t n = encoding_length(b, run.steps) + 4;
   const auto input = good_input(machine, b, Secret::kA, run.steps, n);
   for (auto _ : state) {
-    auto counts = feasible_counts(problem, input);
+    auto counts = feasibility.feasible_counts(input);
     benchmark::DoNotOptimize(counts);
   }
+  state.counters["n"] = static_cast<double>(n);
 }
-BENCHMARK(FeasibilityDp)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+BENCHMARK(FeasibilityDp)->Arg(2)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+
+struct LowerBoundRow {
+  std::size_t b = 0;
+  std::size_t n = 0;
+  std::size_t encoding_nodes = 0;
+  std::size_t forced = 0;
+  std::size_t transfers = 0;  ///< distinct transfer matrices the DP needed
+  double dp_ms = 0;           ///< transfer-warm feasibility sweep
+};
+
+std::vector<LowerBoundRow> run_lower_bound() {
+  std::vector<LowerBoundRow> rows;
+  for (std::size_t b : {2u, 3u, 4u}) {
+    const auto machine = lba::unary_counter();
+    const auto run = lba::run(machine, b);
+    const PiProblem problem(machine, b);
+    const PiFeasibility feasibility(problem);
+    const std::size_t n = encoding_length(b, run.steps) + 4;
+    const auto input = good_input(machine, b, Secret::kA, run.steps, n);
+
+    LowerBoundRow row;
+    row.b = b;
+    row.n = n;
+
+    const auto counts = feasibility.feasible_counts(input);  // warms transfers
+    const auto t0 = clock_type::now();
+    const auto counts_warm = feasibility.feasible_counts(input);
+    const auto t1 = clock_type::now();
+    row.dp_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    row.transfers = feasibility.cached_transfers();
+    benchmark::DoNotOptimize(counts_warm);
+
+    for (std::size_t v = 0; v < n; ++v) {
+      if (input[v].kind == InKind::kEmpty) continue;
+      ++row.encoding_nodes;
+      if (counts[v] == 1) ++row.forced;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void print_table(const std::vector<LowerBoundRow>& rows) {
+  std::printf("=== E3: lower bound — feasible outputs on good inputs ===\n");
+  std::printf("Claim (Section 3.4): every node encoding the execution is forced to\n");
+  std::printf("the secret; only Empty-padding nodes have any freedom.\n\n");
+  std::printf("%4s %8s %10s %10s %10s %12s\n", "B", "n", "encoding", "forced",
+              "transfers", "dp sweep");
+  for (const LowerBoundRow& r : rows) {
+    std::printf("%4zu %8zu %10zu %10zu %10zu %10.4fms\n", r.b, r.n, r.encoding_nodes,
+                r.forced, r.transfers, r.dp_ms);
+  }
+  std::printf("(transfers = distinct (input, input) pairs whose output-transfer\n"
+              " matrix the DP built once and reused across all positions.)\n\n");
+}
+
+void write_json(const std::vector<LowerBoundRow>& rows, const char* path) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(out, "{\n  \"lower_bound\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const LowerBoundRow& r = rows[i];
+    std::fprintf(out,
+                 "    {\"b\": %zu, \"n\": %zu, \"encoding_nodes\": %zu, "
+                 "\"forced\": %zu, \"transfers\": %zu, \"dp_ms\": %.4f}%s\n",
+                 r.b, r.n, r.encoding_nodes, r.forced, r.transfers, r.dp_ms,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n\n", path);
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace lclpath;
-  using namespace lclpath::hardness;
-  std::printf("=== E3: lower bound — feasible outputs on good inputs ===\n");
-  std::printf("Claim (Section 3.4): every node encoding the execution is forced to\n");
-  std::printf("the secret; only Empty-padding nodes have any freedom.\n\n");
-  for (std::size_t b : {2u, 3u}) {
-    const auto machine = lba::unary_counter();
-    const auto run = lba::run(machine, b);
-    const PiProblem problem(machine, b);
-    const std::size_t n = encoding_length(b, run.steps) + 4;
-    const auto input = good_input(machine, b, Secret::kA, run.steps, n);
-    const auto counts = feasible_counts(problem, input);
-    std::size_t forced = 0, total_encoding = 0;
-    for (std::size_t v = 0; v < n; ++v) {
-      if (input[v].kind == InKind::kEmpty) continue;
-      ++total_encoding;
-      if (counts[v] == 1) ++forced;
-    }
-    std::printf("B=%zu: %zu / %zu encoding nodes have exactly one valid output\n", b,
-                forced, total_encoding);
+  benchjson::Harness harness(argc, argv, "BENCH_lower_bound.json");
+  if (harness.filtered_only()) return harness.run_benchmarks();
+
+  const std::vector<LowerBoundRow> rows = run_lower_bound();
+  print_table(rows);
+  if (harness.emit_json()) write_json(rows, harness.json_path());
+
+  harness.check_smoke_budget();
+  // The Section 3.4 claim itself: all encoding nodes forced to one output.
+  bool all_forced = true;
+  for (const LowerBoundRow& r : rows) {
+    all_forced = all_forced && r.forced == r.encoding_nodes;
   }
-  std::printf("\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  harness.require(all_forced, "every encoding node is forced to the secret");
+
+  return harness.run_benchmarks();
 }

@@ -218,37 +218,8 @@ BENCHMARK(PumpDecompositionThroughput);
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --emit-json[=path] / --perf-smoke[=seconds] are ours, not
-  // google-benchmark's; strip them (same convention as bench_gap_scaling).
-  const char* json_path = nullptr;
-  double smoke_budget_s = -1;
-  bool filtered = false;
-  std::vector<char*> args;
-  for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--emit-json") == 0) {
-      json_path = "BENCH_monoid.json";
-    } else if (std::strncmp(argv[i], "--emit-json=", 12) == 0) {
-      json_path = argv[i] + 12;
-    } else if (std::strcmp(argv[i], "--perf-smoke") == 0) {
-      smoke_budget_s = 60;
-    } else if (std::strncmp(argv[i], "--perf-smoke=", 13) == 0) {
-      smoke_budget_s = std::atof(argv[i] + 13);
-    } else {
-      if (std::strstr(argv[i], "--benchmark_filter") != nullptr) filtered = true;
-      args.push_back(argv[i]);
-    }
-  }
-  int filtered_argc = static_cast<int>(args.size());
-
-  // A filtered run wants one benchmark, not the fixed-cost experiment
-  // preamble (same convention as bench_classifier).
-  if (filtered && json_path == nullptr && smoke_budget_s < 0) {
-    benchmark::Initialize(&filtered_argc, args.data());
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
-  }
-
-  const auto smoke_t0 = clock_type::now();
+  benchjson::Harness harness(argc, argv, "BENCH_monoid.json");
+  if (harness.filtered_only()) return harness.run_benchmarks();
 
   std::printf("=== E10: reachable type-space sizes (Lemma 13 in practice) ===\n");
   std::printf("%-28s %10s %10s %14s\n", "problem", "elements", "ell_pump", "enumerate");
@@ -273,26 +244,13 @@ int main(int argc, char** argv) {
 
   const SweepResult sweep = run_batch_sweep();
   print_sweep(sweep);
-  if (json_path != nullptr) write_json(catalog_rows, grid_rows, sweep, json_path);
+  if (harness.emit_json()) write_json(catalog_rows, grid_rows, sweep, harness.json_path());
 
-  int exit_code = 0;
-  if (smoke_budget_s >= 0) {
-    const double elapsed =
-        std::chrono::duration<double>(clock_type::now() - smoke_t0).count();
-    const bool ok = elapsed <= smoke_budget_s;
-    std::printf("perf smoke: fixed-cost experiments took %.2fs (budget %.0fs): %s\n",
-                elapsed, smoke_budget_s, ok ? "OK" : "FAIL");
-    if (!ok) exit_code = 1;
-    // The sweep must also actually exercise the cache: every problem
-    // misses once on the cold pass and hits once on the cached pass.
-    if (sweep.monoid_hits < sweep.problems) {
-      std::printf("perf smoke: expected >= %zu monoid-cache hits, saw %llu: FAIL\n",
-                  sweep.problems, static_cast<unsigned long long>(sweep.monoid_hits));
-      exit_code = 1;
-    }
-  }
+  harness.check_smoke_budget();
+  // The sweep must also actually exercise the cache: every problem misses
+  // once on the cold pass and hits once on the cached pass.
+  harness.require(sweep.monoid_hits >= sweep.problems,
+                  "cached sweep hit the monoid cache for every problem");
 
-  benchmark::Initialize(&filtered_argc, args.data());
-  benchmark::RunSpecifiedBenchmarks();
-  return exit_code;
+  return harness.run_benchmarks();
 }

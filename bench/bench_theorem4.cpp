@@ -2,11 +2,18 @@
 // time whose constant is 2^Omega(beta). The binary-counter LBA runs for
 // Theta(2^B) steps; Pi_MB's complexity T' = 2 + (B+1)T then grows
 // exponentially in the output-alphabet size beta = Theta(B * |Q|).
+//
+// `--emit-json[=path]` writes a {"theorem4": ...} section (merged into
+// BENCH_hardness.json by tools/run_bench_gate.sh);
+// `--perf-smoke[=seconds]` bounds the preamble wall clock.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "hardness/solver.hpp"
 #include "lba/machines.hpp"
 
@@ -14,6 +21,7 @@ namespace {
 
 using namespace lclpath;
 using namespace lclpath::hardness;
+using clock_type = std::chrono::steady_clock;
 
 void BinaryCounterRun(benchmark::State& state) {
   const auto b = static_cast<std::size_t>(state.range(0));
@@ -24,26 +32,84 @@ void BinaryCounterRun(benchmark::State& state) {
 }
 BENCHMARK(BinaryCounterRun)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
 
-}  // namespace
+struct Theorem4Row {
+  std::size_t b = 0;
+  std::size_t beta = 0;
+  std::size_t steps = 0;
+  std::size_t t_prime = 0;
+  double run_ms = 0;
+};
 
-int main(int argc, char** argv) {
-  using namespace lclpath;
-  using namespace lclpath::hardness;
-  std::printf("=== E4 (Theorem 4): 2^Omega(beta) constant-time complexity ===\n");
-  std::printf("%4s %10s %12s %12s %14s\n", "B", "beta", "T (steps)", "T' rounds",
-              "T' / 2^B");
+std::vector<Theorem4Row> run_theorem4() {
+  std::vector<Theorem4Row> rows;
   for (std::size_t b = 2; b <= 12; ++b) {
     const auto machine = lba::binary_counter();
+    const auto t0 = clock_type::now();
     const auto run = lba::run(machine, b);
+    const auto t1 = clock_type::now();
     const PiLabels labels(machine, b);
-    const std::size_t beta = labels.num_outputs();
-    const std::size_t t_prime = 2 + (b + 1) * (run.steps + 1);
-    std::printf("%4zu %10zu %12zu %12zu %14.2f\n", b, beta, run.steps, t_prime,
-                static_cast<double>(t_prime) / std::pow(2.0, static_cast<double>(b)));
+    Theorem4Row row;
+    row.b = b;
+    row.beta = labels.num_outputs();
+    row.steps = run.steps;
+    row.t_prime = 2 + (b + 1) * (run.steps + 1);
+    row.run_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void print_table(const std::vector<Theorem4Row>& rows) {
+  std::printf("=== E4 (Theorem 4): 2^Omega(beta) constant-time complexity ===\n");
+  std::printf("%4s %10s %12s %12s %14s %12s\n", "B", "beta", "T (steps)", "T' rounds",
+              "T' / 2^B", "run");
+  for (const Theorem4Row& r : rows) {
+    std::printf("%4zu %10zu %12zu %12zu %14.2f %10.3fms\n", r.b, r.beta, r.steps,
+                r.t_prime,
+                static_cast<double>(r.t_prime) / std::pow(2.0, static_cast<double>(r.b)),
+                r.run_ms);
   }
   std::printf("(T' grows exponentially in B while beta grows linearly: the\n"
               " constant-time complexity is 2^Omega(beta), Theorem 4.)\n\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+}
+
+void write_json(const std::vector<Theorem4Row>& rows, const char* path) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(out, "{\n  \"theorem4\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Theorem4Row& r = rows[i];
+    std::fprintf(out,
+                 "    {\"b\": %zu, \"beta\": %zu, \"steps\": %zu, \"t_prime\": %zu, "
+                 "\"run_ms\": %.4f}%s\n",
+                 r.b, r.beta, r.steps, r.t_prime, r.run_ms,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchjson::Harness harness(argc, argv, "BENCH_theorem4.json");
+  if (harness.filtered_only()) return harness.run_benchmarks();
+
+  const std::vector<Theorem4Row> rows = run_theorem4();
+  print_table(rows);
+  if (harness.emit_json()) write_json(rows, harness.json_path());
+
+  harness.check_smoke_budget();
+  // The theorem's shape: T = 2^B - 1 exactly for the binary counter.
+  bool exponential = true;
+  for (const Theorem4Row& r : rows) {
+    exponential = exponential && (r.steps + 1 == (std::size_t{1} << r.b));
+  }
+  harness.require(exponential, "binary counter runs exactly 2^B - 1 steps");
+
+  return harness.run_benchmarks();
 }

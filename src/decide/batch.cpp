@@ -170,4 +170,20 @@ std::vector<BatchEntry> classify_batch(std::span<const PairwiseProblem> problems
   return results;
 }
 
+BatchSummary summarize_batch(std::span<const BatchEntry> entries) {
+  BatchSummary summary;
+  summary.total = entries.size();
+  for (const BatchEntry& entry : entries) {
+    if (entry.deduplicated) ++summary.deduplicated;
+    if (entry.from_cache) ++summary.from_cache;
+    if (entry.ok()) {
+      ++summary.ok;
+      ++summary.by_class[static_cast<std::size_t>(entry.classified().complexity())];
+    } else {
+      ++summary.failed;
+    }
+  }
+  return summary;
+}
+
 }  // namespace lclpath

@@ -20,6 +20,7 @@
 //     shared Monoid is immutable, so workers reuse it concurrently.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -108,5 +109,21 @@ struct BatchOptions {
 /// completion order. Never throws on a per-problem failure.
 std::vector<BatchEntry> classify_batch(std::span<const PairwiseProblem> problems,
                                        const BatchOptions& options = {});
+
+/// Roll-up of one batch result: how many entries classified, failed (a
+/// budget overflow is a *recorded* failure, the observable of Theorem 5's
+/// PSPACE-hardness studies), were deduplicated in-batch or served from the
+/// caller's cache, and the successful per-class census (indexed by
+/// static_cast<std::size_t>(ComplexityClass)).
+struct BatchSummary {
+  std::size_t total = 0;
+  std::size_t ok = 0;
+  std::size_t failed = 0;
+  std::size_t deduplicated = 0;
+  std::size_t from_cache = 0;
+  std::array<std::size_t, 4> by_class{};
+};
+
+BatchSummary summarize_batch(std::span<const BatchEntry> entries);
 
 }  // namespace lclpath

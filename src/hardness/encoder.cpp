@@ -18,20 +18,26 @@ std::vector<InLabel> good_input(const lba::Machine& machine, std::size_t tape_si
   std::vector<InLabel> input(n, InLabel{InKind::kEmpty, lba::Symbol::k0, 0, false});
   input[0].kind = secret == Secret::kA ? InKind::kStartA : InKind::kStartB;
 
-  lba::Configuration config = lba::initial_configuration(machine, tape_size);
+  // Step the packed configuration in place through the machine's cached
+  // StepTable — one table shared across every encoding size — and spell
+  // each configuration into its block.
+  const lba::StepTable& table = machine.step_table();
+  lba::PackedConfig config(machine, tape_size);
   std::size_t pos = 1;
   for (std::size_t step = 0; step <= steps; ++step) {
     input[pos].kind = InKind::kSeparator;
     ++pos;
+    const lba::State state = config.state();
+    const std::size_t head = config.head();
     for (std::size_t j = 0; j < tape_size; ++j) {
       InLabel& cell = input[pos + j];
       cell.kind = InKind::kTape;
-      cell.content = config.tape[j];
-      cell.state = config.state;
-      cell.head = config.head == j;
+      cell.content = config.cell(j);
+      cell.state = state;
+      cell.head = head == j;
     }
     pos += tape_size;
-    if (step < steps) config = lba::step(machine, config);
+    if (step < steps) config.step(table);
   }
   return input;
 }

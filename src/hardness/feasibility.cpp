@@ -1,0 +1,80 @@
+#include "hardness/feasibility.hpp"
+
+namespace lclpath::hardness {
+
+PiFeasibility::PiFeasibility(const PiProblem& problem) : problem_(&problem) {
+  const PiLabels& labels = problem.labels();
+  const std::size_t num_out = labels.num_outputs();
+  outputs_.reserve(num_out);
+  for (Label o = 0; o < num_out; ++o) outputs_.push_back(labels.decode_output(o));
+  last_allowed_ = BitVector(num_out);
+  for (Label o = 0; o < num_out; ++o) {
+    if (problem.allowed_at_last(outputs_[o])) last_allowed_.set(o, true);
+  }
+}
+
+const PiFeasibility::Transfer& PiFeasibility::transfer(const InLabel& in_pred,
+                                                       const InLabel& in) const {
+  const PiLabels& labels = problem_->labels();
+  const std::size_t key =
+      labels.encode(in_pred) * labels.num_inputs() + labels.encode(in);
+  const auto it = transfers_.find(key);
+  if (it != transfers_.end()) return it->second;
+
+  const std::size_t num_out = outputs_.size();
+  Transfer built{BitMatrix(num_out), BitMatrix(num_out)};
+  for (Label p = 0; p < num_out; ++p) {
+    for (Label o = 0; o < num_out; ++o) {
+      // node_ok is position-independent (any i > 0 behaves alike).
+      if (problem_->node_ok(1, in, outputs_[o], &in_pred, &outputs_[p])) {
+        built.forward.set(p, o, true);
+        built.backward.set(o, p, true);
+      }
+    }
+  }
+  return transfers_.emplace(key, std::move(built)).first->second;
+}
+
+const BitVector& PiFeasibility::first_allowed(const InLabel& in) const {
+  const std::size_t key = problem_->labels().encode(in);
+  const auto it = first_.find(key);
+  if (it != first_.end()) return it->second;
+  BitVector allowed(outputs_.size());
+  for (Label o = 0; o < outputs_.size(); ++o) {
+    if (problem_->node_ok(0, in, outputs_[o], nullptr, nullptr)) allowed.set(o, true);
+  }
+  return first_.emplace(key, std::move(allowed)).first->second;
+}
+
+std::vector<BitVector> PiFeasibility::feasible_sets(
+    const std::vector<InLabel>& input) const {
+  const std::size_t n = input.size();
+  if (n == 0) return {};
+  std::vector<BitVector> reach(n);
+  reach[0] = first_allowed(input[0]);
+  for (std::size_t v = 1; v < n; ++v) {
+    reach[v] = BitVector(outputs_.size());
+    reach[v - 1].multiply_into(transfer(input[v - 1], input[v]).forward, reach[v]);
+  }
+  // Backward prune: feasible[v-1] keeps the predecessors some feasible
+  // successor extends (one vector * transposed-matrix product per edge).
+  std::vector<BitVector> feasible = std::move(reach);
+  feasible[n - 1] &= last_allowed_;
+  BitVector extendable(outputs_.size());
+  for (std::size_t v = n - 1; v > 0; --v) {
+    feasible[v].multiply_into(transfer(input[v - 1], input[v]).backward, extendable);
+    feasible[v - 1] &= extendable;
+  }
+  return feasible;
+}
+
+std::vector<std::size_t> PiFeasibility::feasible_counts(
+    const std::vector<InLabel>& input) const {
+  const std::vector<BitVector> sets = feasible_sets(input);
+  std::vector<std::size_t> counts;
+  counts.reserve(sets.size());
+  for (const BitVector& set : sets) counts.push_back(set.count());
+  return counts;
+}
+
+}  // namespace lclpath::hardness

@@ -1,0 +1,70 @@
+// Word-parallel feasibility DP over Pi_MB outputs (the Section 3.4 lower
+// bound, executed).
+//
+// The scalar form — for every position, for every output, for every
+// predecessor output, call node_ok() — decodes labels and re-derives the
+// same (input_pred, input) transfer relation at every position. But
+// PiProblem::node_ok is position-independent: the set of (out_pred, out)
+// pairs it accepts depends only on the two adjacent *input* labels. So
+// the DP factors into per-input-pair transfer matrices over the output
+// alphabet, built once, cached, and reused across positions and encoding
+// sizes; the forward reach and backward prune sweeps become one
+// BitVector * BitMatrix product per position (the multiply_into idiom of
+// the monoid layer).
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "core/bitmatrix.hpp"
+#include "hardness/pi_problem.hpp"
+
+namespace lclpath::hardness {
+
+/// Caches the transfer structure of one PiProblem. Instances are cheap
+/// (tables fill lazily per distinct input pair) but not thread-safe: use
+/// one per thread.
+class PiFeasibility {
+ public:
+  explicit PiFeasibility(const PiProblem& problem);
+
+  const PiProblem& problem() const { return *problem_; }
+
+  /// Feasible output sets per position: forward reach intersected with
+  /// the backward prune, honoring the first-node rule and the last-node
+  /// mask (allowed_at_last). Matches the scalar reference DP bit for bit
+  /// (pinned by tests/hardness_diff_test.cpp).
+  std::vector<BitVector> feasible_sets(const std::vector<InLabel>& input) const;
+
+  /// Number of feasible output labels per position.
+  std::vector<std::size_t> feasible_counts(const std::vector<InLabel>& input) const;
+
+  /// Transfer matrices for one adjacent input pair: forward[p][o] = 1 iff
+  /// node_ok(in, o | in_pred, p); backward is its transpose. Built on
+  /// first use and cached for the lifetime of this object.
+  struct Transfer {
+    BitMatrix forward;
+    BitMatrix backward;
+  };
+  const Transfer& transfer(const InLabel& in_pred, const InLabel& in) const;
+
+  /// Outputs allowed at a path-first node with the given input.
+  const BitVector& first_allowed(const InLabel& in) const;
+
+  /// Outputs allowed at the last node (the dangling-chain rule).
+  const BitVector& last_allowed() const { return last_allowed_; }
+
+  /// Distinct input pairs with a built transfer matrix so far (the reuse
+  /// the cache buys; asserted by tests).
+  std::size_t cached_transfers() const { return transfers_.size(); }
+
+ private:
+  const PiProblem* problem_;
+  std::vector<OutLabel> outputs_;  ///< decoded once, indexed by Label
+  BitVector last_allowed_;
+  mutable std::unordered_map<std::size_t, Transfer> transfers_;
+  mutable std::unordered_map<std::size_t, BitVector> first_;
+};
+
+}  // namespace lclpath::hardness

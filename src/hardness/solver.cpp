@@ -39,9 +39,16 @@ std::size_t PiSolver::first_defect(const std::vector<InLabel>& inputs,
 }
 
 std::vector<OutLabel> PiSolver::solve(const std::vector<InLabel>& inputs) const {
+  // One global defect scan; node v sees it iff it falls in v's visible
+  // prefix [0, v + T']. This keeps solve() linear where the per-node
+  // output_of() rescans would make it quadratic.
+  const std::size_t global = first_defect(inputs, inputs.size());
   std::vector<OutLabel> out;
   out.reserve(inputs.size());
-  for (std::size_t v = 0; v < inputs.size(); ++v) out.push_back(output_of(inputs, v));
+  for (std::size_t v = 0; v < inputs.size(); ++v) {
+    const std::size_t limit = std::min(inputs.size(), v + radius_ + 1);
+    out.push_back(output_with_defect(inputs, v, global < limit ? global : kNone));
+  }
   return out;
 }
 
@@ -62,6 +69,13 @@ std::vector<OutLabel> PiSolver::solve_looping(const std::vector<InLabel>& inputs
 }
 
 OutLabel PiSolver::output_of(const std::vector<InLabel>& inputs, std::size_t v) const {
+  // Visible prefix: the ball of v covers [0, v + T'].
+  const std::size_t limit = std::min(inputs.size(), v + radius_ + 1);
+  return output_with_defect(inputs, v, first_defect(inputs, limit));
+}
+
+OutLabel PiSolver::output_with_defect(const std::vector<InLabel>& inputs, std::size_t v,
+                                      std::size_t j) const {
   const std::size_t b = problem_->tape_size();
   const std::size_t n = inputs.size();
   const lba::Machine& machine = problem_->machine();
@@ -77,9 +91,6 @@ OutLabel PiSolver::output_of(const std::vector<InLabel>& inputs, std::size_t v) 
   const OutKind secret =
       inputs[0].kind == InKind::kStartA ? OutKind::kStartA : OutKind::kStartB;
 
-  // Visible prefix: the ball of v covers [0, v + T'].
-  const std::size_t limit = std::min(n, v + radius_ + 1);
-  const std::size_t j = first_defect(inputs, limit);
   if (j == kNone) {
     out.kind = inputs[v].kind == InKind::kEmpty ? OutKind::kEmpty : secret;
     return out;

@@ -28,7 +28,9 @@ class PiSolver {
   /// locality test in tests/hardness_test.cpp checks exactly that.
   OutLabel output_of(const std::vector<InLabel>& inputs, std::size_t v) const;
 
-  /// Whole-path solution.
+  /// Whole-path solution. Computes the first defect once and derives every
+  /// node's output from it (O(n * B)); output_of() re-scans per node and is
+  /// kept for the locality test.
   std::vector<OutLabel> solve(const std::vector<InLabel>& inputs) const;
 
   /// The Theta(n) fallback for looping machines (also valid for halting
@@ -44,6 +46,11 @@ class PiSolver {
   /// First position in [0, limit) where inputs deviate from the good
   /// encoding (treating either Start at p0 as good); npos if none.
   std::size_t first_defect(const std::vector<InLabel>& inputs, std::size_t limit) const;
+
+  /// The case analysis of Section 3.3 given the first defect `j` visible
+  /// from node v (npos if none); shared by output_of() and solve().
+  OutLabel output_with_defect(const std::vector<InLabel>& inputs, std::size_t v,
+                              std::size_t j) const;
 };
 
 }  // namespace lclpath::hardness

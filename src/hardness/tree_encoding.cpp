@@ -140,13 +140,22 @@ GStar build_gstar(const Word& input_labels, std::size_t num_labels) {
     out.path_nodes.push_back(out.graph.add_node());
     if (v > 0) out.graph.add_edge(out.path_nodes[v - 1], out.path_nodes[v]);
   }
+  // One encoded tree per *distinct* label, spliced once per occurrence —
+  // Pi inputs repeat a handful of labels (Empty padding, tape cells)
+  // thousands of times, so re-encoding per node dominated the build.
+  std::vector<std::optional<EncodedTree>> encoded(num_labels);
   for (std::size_t v = 0; v < input_labels.size(); ++v) {
-    std::vector<int> bits(nbits, 0);
-    for (std::size_t k = 0; k < nbits; ++k) {
-      bits[k] = static_cast<int>((input_labels[v] >> (nbits - 1 - k)) & 1u);
+    const Label label = input_labels[v];
+    if (label >= num_labels) throw std::invalid_argument("build_gstar: label out of range");
+    if (!encoded[label]) {
+      std::vector<int> bits(nbits, 0);
+      for (std::size_t k = 0; k < nbits; ++k) {
+        bits[k] = static_cast<int>((label >> (nbits - 1 - k)) & 1u);
+      }
+      encoded[label] = encode_bits(bits);
     }
     // Splice the encoded tree into the shared graph.
-    EncodedTree enc = encode_bits(bits);
+    const EncodedTree& enc = *encoded[label];
     const std::size_t offset = out.graph.size();
     for (std::size_t u = 0; u < enc.tree.size(); ++u) out.graph.add_node();
     for (std::size_t u = 0; u < enc.tree.size(); ++u) {
@@ -167,26 +176,23 @@ std::optional<Word> recover_labels(const GStar& gstar, std::size_t num_labels) {
 
   // Peeling decomposition: A_i = degree-1 nodes of G_i; B_i = degree-2
   // nodes of G_i adjacent to A_i; k+2 rounds (paper Section 3.8).
+  // Degrees are maintained as counters (decremented when a neighbor is
+  // removed) instead of rescanning adjacency lists every round.
   std::vector<char> removed(g.size(), 0);
-  auto degree_now = [&](std::size_t v) {
-    std::size_t d = 0;
-    for (std::size_t u : g.adj[v]) {
-      if (!removed[u]) ++d;
-    }
-    return d;
-  };
+  std::vector<std::size_t> deg(g.size(), 0);
+  for (std::size_t v = 0; v < g.size(); ++v) deg[v] = g.degree(v);
   std::vector<char> in_label(g.size(), 0);
   for (std::size_t round = 0; round < k + 2; ++round) {
     std::vector<std::size_t> a_nodes;
     for (std::size_t v = 0; v < g.size(); ++v) {
-      if (!removed[v] && degree_now(v) <= 1) a_nodes.push_back(v);
+      if (!removed[v] && deg[v] <= 1) a_nodes.push_back(v);
     }
     std::vector<std::size_t> b_nodes;
     if (round < k + 1) {
       std::vector<char> is_a(g.size(), 0);
       for (std::size_t v : a_nodes) is_a[v] = 1;
       for (std::size_t v = 0; v < g.size(); ++v) {
-        if (removed[v] || degree_now(v) != 2) continue;
+        if (removed[v] || deg[v] != 2 || is_a[v]) continue;
         for (std::size_t u : g.adj[v]) {
           if (!removed[u] && is_a[u]) {
             b_nodes.push_back(v);
@@ -195,14 +201,15 @@ std::optional<Word> recover_labels(const GStar& gstar, std::size_t num_labels) {
         }
       }
     }
-    for (std::size_t v : a_nodes) {
+    const auto remove_node = [&](std::size_t v) {
       removed[v] = 1;
       in_label[v] = 1;
-    }
-    for (std::size_t v : b_nodes) {
-      removed[v] = 1;
-      in_label[v] = 1;
-    }
+      for (std::size_t u : g.adj[v]) {
+        if (!removed[u]) --deg[u];
+      }
+    };
+    for (std::size_t v : a_nodes) remove_node(v);
+    for (std::size_t v : b_nodes) remove_node(v);
   }
 
   // Each main node's unique V_label neighbor roots its encoding tree.

@@ -7,9 +7,21 @@
 // running time — with loop detection deciding which side of the
 // O(1)-vs-Omega(n) dichotomy the problem falls on (and deciding *that* is
 // PSPACE-hard, Theorem 5).
+//
+// The step relation has two representations:
+//
+//  * Configuration / step() — structured, one tape symbol per byte, a new
+//    configuration per step. The readable reference semantics.
+//  * StepTable / PackedConfig — delta compiled once into a dense table
+//    (built lazily per machine and reused across every run and encoding
+//    size) driving in-place steps on a configuration packed into 64-bit
+//    words, 2 bits per tape cell. run(), run_headless() and the hardness
+//    encoder all step through this path; the differential tests pin it
+//    against the reference.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -33,6 +45,8 @@ struct Transition {
   Move move = Move::kStay;
 };
 
+class StepTable;
+
 /// M = (Q, q0, qf, Gamma, delta). States are dense indices; state 0 is the
 /// initial state by convention and `final_state` the accepting one.
 class Machine {
@@ -53,15 +67,48 @@ class Machine {
   /// Validates totality of delta on non-final states.
   void validate() const;
 
+  /// delta compiled into a dense StepTable, built (and validated) on first
+  /// use and cached until the next set_transition(). The cache makes every
+  /// run / encoding over the same machine share one table, but the lazy
+  /// build itself is not synchronized: touch step_table() once before
+  /// handing the machine to concurrent workers.
+  const StepTable& step_table() const;
+
  private:
   std::size_t num_states_;
   State initial_;
   State final_;
   std::vector<std::string> names_;
   std::vector<std::optional<Transition>> delta_;  // q * kNumSymbols + s
+  mutable std::shared_ptr<const StepTable> step_table_;
 };
 
-/// One configuration: state, tape, head position.
+/// delta as a flat array indexed by q * kNumSymbols + s, with the head
+/// movement pre-decoded to a signed offset — the per-step representation
+/// used by every packed run.
+class StepTable {
+ public:
+  struct Entry {
+    State next_state = 0;
+    std::uint8_t write = 0;  // Symbol as raw 2-bit value
+    std::int8_t dhead = 0;   // -1 / 0 / +1
+  };
+
+  /// Compiles the machine's delta; validates totality first.
+  explicit StepTable(const Machine& machine);
+
+  State final_state() const { return final_; }
+  const Entry& at(State q, Symbol s) const {
+    return entries_[q * kNumSymbols + static_cast<std::size_t>(s)];
+  }
+
+ private:
+  State final_ = 0;
+  std::vector<Entry> entries_;
+};
+
+/// One configuration: state, tape, head position. The structured
+/// reference form.
 struct Configuration {
   State state = 0;
   std::vector<Symbol> tape;
@@ -71,21 +118,65 @@ struct Configuration {
   std::size_t hash() const;
 };
 
-/// Initial configuration on a size-B tape: (L, 0, ..., 0, R), head at 0.
-/// Requires B >= 2.
-Configuration initial_configuration(const Machine& machine, std::size_t tape_size);
+/// A configuration packed into 64-bit words: word 0 holds state (low half)
+/// and head (high half), then the tape at 2 bits per cell. step() mutates
+/// in place — no allocation, O(1) work — so a T-step run touches O(B)
+/// memory instead of copying T tapes.
+class PackedConfig {
+ public:
+  PackedConfig() = default;
+  /// The initial configuration (L, 0, ..., 0, R), head at 0; requires
+  /// tape_size >= 2.
+  PackedConfig(const Machine& machine, std::size_t tape_size);
 
-/// Result of running a machine with loop detection.
-struct RunResult {
+  std::size_t tape_size() const { return tape_size_; }
+  State state() const { return static_cast<State>(words_[0] & 0xFFFFFFFFu); }
+  std::size_t head() const { return static_cast<std::size_t>(words_[0] >> 32); }
+  Symbol cell(std::size_t i) const {
+    return static_cast<Symbol>((words_[1 + i / 32] >> (2 * (i % 32))) & 3u);
+  }
+
+  /// Applies delta once in place. Throws if the configuration is final or
+  /// the head would leave the tape (a malformed machine).
+  void step(const StepTable& table);
+
+  const std::vector<std::uint64_t>& words() const { return words_; }
+  std::size_t hash() const;
+  Configuration unpack() const;
+
+  bool operator==(const PackedConfig&) const = default;
+
+ private:
+  std::size_t tape_size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Result of running a machine with loop detection. The run records
+/// packed configurations only; the structured trace is materialized on
+/// demand (most callers — the halting decisions of Theorems 4/5 — only
+/// read halts/steps).
+class RunResult {
+ public:
   bool halts = false;
   /// Number of steps until the final state (valid when halts).
   std::size_t steps = 0;
-  /// The full execution trace: configurations step_0 (initial) .. step_T.
-  /// For looping machines: the trace up to (and including) the first
-  /// repeated configuration.
-  std::vector<Configuration> trace;
   /// For looping machines: index at which the loop re-enters the trace.
   std::optional<std::size_t> loop_start;
+
+  /// Number of configurations recorded: step_0 (initial) .. step_T for a
+  /// halting run; for looping machines the prefix up to (and including)
+  /// the first repeated configuration.
+  std::size_t trace_length() const;
+  /// The execution trace as structured configurations, unpacked on first
+  /// access and cached (not thread-safe; copy the RunResult per thread).
+  const std::vector<Configuration>& trace() const;
+
+ private:
+  friend RunResult run(const Machine&, std::size_t, std::size_t);
+  std::size_t tape_size_ = 0;
+  std::size_t words_per_config_ = 0;
+  std::vector<std::uint64_t> arena_;  // trace_length() packed configs
+  mutable std::vector<Configuration> trace_;
 };
 
 /// Runs the machine from the initial configuration, detecting loops by
@@ -95,8 +186,30 @@ struct RunResult {
 RunResult run(const Machine& machine, std::size_t tape_size,
               std::size_t max_steps = 10'000'000);
 
-/// Applies delta once. Throws if the configuration is final or the head
-/// would leave the tape (a malformed machine).
+/// Halting statistics without a trace: loop_start/loop_length are the
+/// (mu, lambda) of the configuration orbit for looping machines.
+struct RunStats {
+  bool halts = false;
+  std::size_t steps = 0;  ///< steps to the final state (valid when halts)
+  std::optional<std::size_t> loop_start;
+  std::optional<std::size_t> loop_length;
+};
+
+/// Decides halting in O(B) memory via Brent's cycle detection on the
+/// deterministic step sequence — the Theorem 5 halting decision at tape
+/// sizes whose trace (run() keeps all of it for loop detection) would not
+/// fit. Costs at most ~3 (mu + lambda) steps; throws std::runtime_error
+/// when the halting time or mu + lambda exceeds `max_steps`.
+RunStats run_headless(const Machine& machine, std::size_t tape_size,
+                      std::size_t max_steps = 100'000'000);
+
+/// Initial configuration on a size-B tape: (L, 0, ..., 0, R), head at 0.
+/// Requires B >= 2.
+Configuration initial_configuration(const Machine& machine, std::size_t tape_size);
+
+/// Applies delta once (reference semantics: returns a fresh
+/// configuration). Throws if the configuration is final or the head would
+/// leave the tape (a malformed machine).
 Configuration step(const Machine& machine, const Configuration& config);
 
 }  // namespace lclpath::lba

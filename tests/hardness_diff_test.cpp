@@ -1,0 +1,234 @@
+// Differential tests pinning the word-parallel hardness/LBA kernels
+// against their scalar reference semantics:
+//
+//   * PiFeasibility's transfer-matrix DP vs the retired per-label scalar
+//     DP (the bench_lower_bound seed implementation, kept here as the
+//     executable specification);
+//   * the packed StepTable run (and Brent's headless variant) vs the
+//     structured Configuration / step() reference;
+//   * the fused good_input encoder vs a reference built from the run
+//     trace.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "hardness/encoder.hpp"
+#include "hardness/feasibility.hpp"
+#include "lba/machines.hpp"
+
+namespace lclpath::hardness {
+namespace {
+
+// The scalar reference DP: for every position, for every output, for
+// every predecessor output, one node_ok() probe. Quadratic in the output
+// alphabet per edge — exactly what PiFeasibility's cached transfer
+// matrices replace — and trivially auditable against Section 3.4.
+std::vector<std::vector<char>> scalar_feasible(const PiProblem& problem,
+                                               const std::vector<InLabel>& input) {
+  const PiLabels& labels = problem.labels();
+  const std::size_t n = input.size();
+  const std::size_t num_out = labels.num_outputs();
+  std::vector<std::vector<char>> reach(n, std::vector<char>(num_out, 0));
+  if (n == 0) return reach;
+  for (Label o = 0; o < num_out; ++o) {
+    if (problem.node_ok(0, input[0], labels.decode_output(o), nullptr, nullptr)) {
+      reach[0][o] = 1;
+    }
+  }
+  for (std::size_t v = 1; v < n; ++v) {
+    for (Label o = 0; o < num_out; ++o) {
+      const OutLabel out = labels.decode_output(o);
+      for (Label p = 0; p < num_out && !reach[v][o]; ++p) {
+        if (!reach[v - 1][p]) continue;
+        const OutLabel pred = labels.decode_output(p);
+        if (problem.node_ok(v, input[v], out, &input[v - 1], &pred)) reach[v][o] = 1;
+      }
+    }
+  }
+  std::vector<std::vector<char>> feasible = reach;
+  for (Label o = 0; o < num_out; ++o) {
+    if (!problem.allowed_at_last(labels.decode_output(o))) feasible[n - 1][o] = 0;
+  }
+  for (std::size_t v = n - 1; v > 0; --v) {
+    for (Label p = 0; p < num_out; ++p) {
+      if (!feasible[v - 1][p]) continue;
+      bool extends = false;
+      const OutLabel pred = labels.decode_output(p);
+      for (Label o = 0; o < num_out && !extends; ++o) {
+        if (!feasible[v][o]) continue;
+        extends = problem.node_ok(v, input[v], labels.decode_output(o),
+                                  &input[v - 1], &pred);
+      }
+      if (!extends) feasible[v - 1][p] = 0;
+    }
+  }
+  return feasible;
+}
+
+void expect_feasibility_matches(const PiProblem& problem,
+                                const std::vector<InLabel>& input,
+                                const std::string& what) {
+  const PiFeasibility feasibility(problem);
+  const std::vector<BitVector> sets = feasibility.feasible_sets(input);
+  const std::vector<std::vector<char>> reference = scalar_feasible(problem, input);
+  ASSERT_EQ(sets.size(), input.size()) << what;
+  const std::size_t num_out = problem.labels().num_outputs();
+  for (std::size_t v = 0; v < input.size(); ++v) {
+    for (Label o = 0; o < num_out; ++o) {
+      ASSERT_EQ(sets[v].get(o), reference[v][o] != 0)
+          << what << ": position " << v << ", output " << o;
+    }
+  }
+}
+
+TEST(HardnessFeasibilityDiff, MatchesScalarDpOnGoodInputs) {
+  for (std::size_t b : {2u, 3u}) {
+    const auto machine = lba::unary_counter();
+    const auto run = lba::run(machine, b);
+    const PiProblem problem(machine, b);
+    const std::size_t n = encoding_length(b, run.steps) + 4;
+    const auto input = good_input(machine, b, Secret::kA, run.steps, n);
+    expect_feasibility_matches(problem, input, "good input B=" + std::to_string(b));
+  }
+}
+
+TEST(HardnessFeasibilityDiff, MatchesScalarDpOnCorruptedInputs) {
+  const std::size_t b = 3;
+  const auto machine = lba::unary_counter();
+  const auto run = lba::run(machine, b);
+  const PiProblem problem(machine, b);
+  const std::size_t n = encoding_length(b, run.steps) + 8;
+  for (int k = 0; k <= 6; ++k) {
+    const auto corruption = static_cast<Corruption>(k);
+    auto input = good_input(machine, b, Secret::kB, run.steps, n);
+    try {
+      input = corrupt(machine, b, std::move(input), corruption, 2);
+    } catch (const std::exception&) {
+      continue;  // corruption not applicable at this size
+    }
+    expect_feasibility_matches(problem, input,
+                               "corruption " + std::to_string(k));
+  }
+}
+
+TEST(HardnessFeasibilityDiff, MatchesScalarDpOnRandomInputs) {
+  // Arbitrary label soup (decode of random codec indices) — exercises
+  // constraint combinations no well-formed encoding reaches.
+  const std::size_t b = 2;
+  const auto machine = lba::unary_counter();
+  const PiProblem problem(machine, b);
+  const std::size_t num_in = problem.labels().num_inputs();
+  std::mt19937 rng(20260807);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<InLabel> input;
+    const std::size_t n = 5 + rng() % 30;
+    for (std::size_t v = 0; v < n; ++v) {
+      input.push_back(problem.labels().decode_input(
+          static_cast<Label>(rng() % num_in)));
+    }
+    expect_feasibility_matches(problem, input, "random trial " + std::to_string(trial));
+  }
+}
+
+TEST(HardnessFeasibilityDiff, TransferCacheIsBoundedByInputPairs) {
+  const std::size_t b = 3;
+  const auto machine = lba::unary_counter();
+  const auto run = lba::run(machine, b);
+  const PiProblem problem(machine, b);
+  const PiFeasibility feasibility(problem);
+  const std::size_t n = encoding_length(b, run.steps) + 4;
+  const auto input = good_input(machine, b, Secret::kA, run.steps, n);
+
+  feasibility.feasible_counts(input);
+  const std::size_t after_first = feasibility.cached_transfers();
+  EXPECT_GT(after_first, 0u);
+  // The encoding uses far fewer distinct adjacent pairs than positions —
+  // the reuse that makes the DP one vector-matrix product per edge.
+  EXPECT_LT(after_first, n);
+  // Same input again: nothing new to build.
+  feasibility.feasible_counts(input);
+  EXPECT_EQ(feasibility.cached_transfers(), after_first);
+}
+
+TEST(LbaPackedDiff, PackedRunMatchesReferenceStep) {
+  const lba::Machine machines[] = {lba::immediate_halt(), lba::unary_counter(),
+                                   lba::binary_counter(), lba::looper()};
+  for (const lba::Machine& machine : machines) {
+    for (std::size_t b : {2u, 3u, 5u}) {
+      const auto result = lba::run(machine, b);
+      const auto& trace = result.trace();
+      ASSERT_GE(trace.size(), 1u);
+      // Replay the structured reference step along the packed trace.
+      lba::Configuration config = lba::initial_configuration(machine, b);
+      ASSERT_EQ(trace[0], config);
+      for (std::size_t t = 1; t < trace.size(); ++t) {
+        config = lba::step(machine, config);
+        ASSERT_EQ(trace[t], config)
+            << "machine diverges from reference at step " << t << ", B=" << b;
+      }
+      if (result.halts) {
+        EXPECT_EQ(config.state, machine.final_state());
+        EXPECT_EQ(result.steps, trace.size() - 1);
+      } else {
+        ASSERT_TRUE(result.loop_start.has_value());
+        EXPECT_EQ(trace.back(), trace[*result.loop_start]);
+      }
+    }
+  }
+}
+
+TEST(LbaPackedDiff, HeadlessAgreesWithTracedRun) {
+  const lba::Machine machines[] = {lba::immediate_halt(), lba::unary_counter(),
+                                   lba::binary_counter(), lba::looper()};
+  for (const lba::Machine& machine : machines) {
+    for (std::size_t b : {2u, 3u, 5u, 8u}) {
+      const auto traced = lba::run(machine, b);
+      const auto headless = lba::run_headless(machine, b);
+      EXPECT_EQ(headless.halts, traced.halts) << "B=" << b;
+      if (traced.halts) {
+        EXPECT_EQ(headless.steps, traced.steps) << "B=" << b;
+      } else {
+        // run() stops at the first repeated configuration: its loop_start
+        // is the orbit's entry point mu, and the repeat happens at
+        // mu + lambda — both must match Brent's (mu, lambda).
+        ASSERT_TRUE(headless.loop_start.has_value());
+        ASSERT_TRUE(headless.loop_length.has_value());
+        ASSERT_TRUE(traced.loop_start.has_value());
+        EXPECT_EQ(*headless.loop_start, *traced.loop_start) << "B=" << b;
+        EXPECT_EQ(*headless.loop_start + *headless.loop_length,
+                  traced.trace_length() - 1)
+            << "B=" << b;
+      }
+    }
+  }
+}
+
+TEST(HardnessEncoderDiff, FusedEncoderMatchesRunTrace) {
+  for (std::size_t b : {2u, 4u}) {
+    const auto machine = lba::unary_counter();
+    const auto run = lba::run(machine, b);
+    const auto& trace = run.trace();
+    const std::size_t n = encoding_length(b, run.steps) + 6;
+    const auto input = good_input(machine, b, Secret::kA, run.steps, n);
+
+    // Reference: spell each traced configuration into its block.
+    ASSERT_EQ(input[0].kind, InKind::kStartA);
+    std::size_t pos = 1;
+    for (std::size_t step = 0; step <= run.steps; ++step) {
+      ASSERT_EQ(input[pos].kind, InKind::kSeparator) << "B=" << b << " step " << step;
+      ++pos;
+      const lba::Configuration& config = trace[step];
+      for (std::size_t j = 0; j < b; ++j, ++pos) {
+        ASSERT_EQ(input[pos].kind, InKind::kTape);
+        EXPECT_EQ(input[pos].content, config.tape[j]);
+        EXPECT_EQ(input[pos].state, config.state);
+        EXPECT_EQ(input[pos].head, config.head == j);
+      }
+    }
+    for (; pos < n; ++pos) EXPECT_EQ(input[pos].kind, InKind::kEmpty);
+  }
+}
+
+}  // namespace
+}  // namespace lclpath::hardness

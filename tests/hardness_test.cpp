@@ -33,11 +33,14 @@ TEST(Lba, MachineRuntimes) {
   ASSERT_TRUE(r4.halts && r6.halts && r8.halts);
   EXPECT_GT(r6.steps, 2 * r4.steps);
   EXPECT_GT(r8.steps, 2 * r6.steps);
-  // looper: detected as looping.
+  // looper: detected as looping, with the lazily-materialized trace ending
+  // at the first repeat of the loop-entry configuration.
   const auto loop = lba::run(lba::looper(), 4);
   EXPECT_FALSE(loop.halts);
   ASSERT_TRUE(loop.loop_start.has_value());
-  EXPECT_EQ(loop.trace.back(), loop.trace[*loop.loop_start]);
+  const auto& trace = loop.trace();
+  ASSERT_EQ(trace.size(), loop.trace_length());
+  EXPECT_EQ(trace.back(), trace[*loop.loop_start]);
 }
 
 TEST(Lba, ConfigurationStepSemantics) {
