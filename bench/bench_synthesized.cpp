@@ -1,14 +1,15 @@
 // Cross-topology synthesis benchmark: for one problem per sub-linear
 // class on each of the four topologies, time one simulated execution of
 // the synthesized algorithm against the Theta(n) gather-all baseline at
-// the same n, and report both radii. `--emit-json[=path]` writes the
-// measurements as machine-readable JSON (default BENCH_synthesized.json;
-// uploaded as a CI artifact like BENCH_linear_gap.json).
+// the same n, and report both radii. Speaks the shared benchjson::Harness
+// protocol: `--emit-json[=path]` writes the measurements as JSON (default
+// BENCH_synthesized.json, the committed baseline), `--perf-smoke[=s]`
+// bounds the preamble wall clock and runs the structural tripwires
+// (synthesized_radius < n and synthesized_s <= gather_s on every row).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
@@ -133,41 +134,27 @@ BENCHMARK(SimulateSynthesizedColoringUndirectedCycle)->Unit(benchmark::kMillisec
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --emit-json[=path] is ours, not google-benchmark's; strip it.
-  const char* json_path = nullptr;
-  bool filtered = false;
-  std::vector<char*> args;
-  for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--emit-json") == 0) {
-      json_path = "BENCH_synthesized.json";
-    } else if (std::strncmp(argv[i], "--emit-json=", 12) == 0) {
-      json_path = argv[i] + 12;
-    } else {
-      if (std::strstr(argv[i], "--benchmark_filter") != nullptr) filtered = true;
-      args.push_back(argv[i]);
-    }
-  }
-  int filtered_argc = static_cast<int>(args.size());
-
-  // A filtered run wants one benchmark, not the fixed-cost comparison
-  // preamble (same convention as bench_gap_scaling).
-  if (filtered && json_path == nullptr) {
-    benchmark::Initialize(&filtered_argc, args.data());
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
-  }
+  benchjson::Harness harness(argc, argv, "BENCH_synthesized.json");
+  if (harness.filtered_only()) return harness.run_benchmarks();
 
   const std::vector<SynthMeasurement> rows = run_synth_comparison();
   print_synth_table(rows);
-  if (json_path != nullptr) write_synth_json(rows, json_path);
-  int exit_code = 0;
+  if (harness.emit_json()) write_synth_json(rows, harness.json_path());
+
   for (const SynthMeasurement& r : rows) {
     // An invalid synthesized output must fail the process (CI runs this
     // binary as its own step), not just leave a line in the log.
-    if (!r.valid) exit_code = 1;
+    if (!r.valid) harness.fail();
+    const std::string tag = r.problem + " (" + r.topology + ")";
+    // The per-problem radii guarantee the synthesized algorithm never
+    // regresses to a worse-than-gather-all regime: its view must be a
+    // strict sub-window of the instance, and its wall clock must not lose
+    // to the Theta(n) baseline it exists to beat.
+    harness.require(r.synthesized_radius < r.n,
+                    ("synthesized_radius < n for " + tag).c_str());
+    harness.require(r.synthesized_s <= r.gather_s,
+                    ("synthesized_s <= gather_s for " + tag).c_str());
   }
-
-  benchmark::Initialize(&filtered_argc, args.data());
-  benchmark::RunSpecifiedBenchmarks();
-  return exit_code;
+  harness.check_smoke_budget();
+  return harness.run_benchmarks();
 }

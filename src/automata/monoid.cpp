@@ -266,6 +266,58 @@ std::vector<std::size_t> Monoid::layer_at(std::size_t length) const {
   return history[length - 1];
 }
 
+std::size_t Monoid::layer_stabilization() const {
+  // Same deterministic subset walk as layer_at, run to its first repeat:
+  // history[i] = layer of length i + 1, with history[l] == history[prev]
+  // establishing preperiod `prev` and period `l - prev`. The answer only
+  // needs indices up to prev + period + 2, all resolvable through the
+  // modular fold.
+  auto step_layer = [this](const std::vector<std::size_t>& layer) {
+    std::vector<char> seen(elements_.size(), 0);
+    std::vector<std::size_t> next;
+    for (std::size_t index : layer) {
+      for (Label sigma = 0; sigma < ts_.num_inputs(); ++sigma) {
+        const std::size_t extended = extend(index, sigma);
+        if (!seen[extended]) {
+          seen[extended] = 1;
+          next.push_back(extended);
+        }
+      }
+    }
+    std::sort(next.begin(), next.end());
+    return next;
+  };
+
+  std::vector<std::size_t> current;
+  for (Label sigma = 0; sigma < ts_.num_inputs(); ++sigma) current.push_back(of_symbol(sigma));
+  std::sort(current.begin(), current.end());
+  current.erase(std::unique(current.begin(), current.end()), current.end());
+
+  std::vector<std::vector<std::size_t>> history = {current};
+  std::size_t prev = 0;
+  std::size_t period = 0;
+  while (period == 0) {
+    current = step_layer(current);
+    for (std::size_t i = 0; i < history.size(); ++i) {
+      if (history[i] == current) {
+        prev = i;
+        period = history.size() - i;
+        break;
+      }
+    }
+    if (period == 0) history.push_back(current);
+  }
+  auto layer_of = [&](std::size_t length) -> const std::vector<std::size_t>& {
+    const std::size_t index = length - 1;
+    if (index < history.size()) return history[index];
+    return history[prev + ((index - prev) % period)];
+  };
+  for (std::size_t k = 1; k <= prev + period; ++k) {
+    if (layer_of(k) == layer_of(k + 2)) return k;
+  }
+  return static_cast<std::size_t>(-1);  // cycle longer than 2
+}
+
 std::vector<std::pair<std::size_t, Word>> Monoid::layer_witnesses(std::size_t length) const {
   // BFS over (element) per layer, keeping one witness word of each exact
   // length. Lengths used by callers are bounded by the feasibility

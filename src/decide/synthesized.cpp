@@ -109,20 +109,38 @@ SynthesizedLogStar::SynthesizedLogStar(const Monoid& monoid,
   if (!certificate.feasible) {
     throw std::invalid_argument("SynthesizedLogStar: certificate is infeasible");
   }
-  ell_ = certificate.ell_ctx;
-  const std::size_t min_gap = 2 * ell_ + 6;
-  gap_ = ruling_min_gap(min_gap);
-  radius_ = ruling_radius(min_gap) + 6 * gap_ + 16;
+  // Context length: the layer-stabilization point, not the worst-case
+  // ell_ctx. Past it the layer sequence is (<= 2)-periodic, so every
+  // context of length >= ell_ lands inside the certificate domain
+  // layer(ell_ctx) ∪ layer(ell_ctx + 1) — the certificate checked exactly
+  // the elements our shorter contexts produce. Clamped at ell_ctx (and by
+  // SIZE_MAX when the layer cycle is longer than 2, where the fold does
+  // not apply).
+  ell_ = std::min(certificate.ell_ctx,
+                  std::max<std::size_t>(monoid.layer_stabilization(), 1));
+  // Inter-block segments split into two context shares of >= (m - 2) / 2
+  // each; min_gap = 2 ell + 4 keeps every share at >= ell + 1.
+  min_gap_ = 2 * ell_ + 4;
+  gap_ = ruling_min_gap(min_gap_);
+  radius_ = ruling_radius(min_gap_) + 6 * gap_ + 16;
   if (!strategy_.cycle()) radius_ += ell_ + 2 * gap_ + 16;
   if (!strategy_.directed()) {
     // Flips are >= orient_ell apart, so every uniformly-oriented segment
     // is long enough to keep a ruling member after the flip-margin drops.
+    // Beyond the orientation's own margin, consecutive usable blocks sit
+    // within 2 h_flip + 2 (2m) + 2 <= 8 gap of each other across a flip.
     orient_ell_ = 4 * gap_ + 3;
-    radius_ += strategy_.orientation_margin(orient_ell_) + orient_ell_ + 20 * gap_;
+    radius_ += strategy_.orientation_margin(orient_ell_) + orient_ell_ + 8 * gap_;
   }
 }
 
-std::size_t SynthesizedLogStar::radius(std::size_t /*n*/) const { return radius_; }
+std::size_t SynthesizedLogStar::radius(std::size_t n) const {
+  // Clamp to the full-view threshold: radius(n) <= n always, and at the
+  // clamp run() answers with the canonical full-view solve — the
+  // gather-all self-selection rule (see the header).
+  const std::size_t full = strategy_.cycle() ? (n + 1) / 2 : (n == 0 ? 0 : n - 1);
+  return std::min(radius_, full);
+}
 
 namespace {
 
@@ -140,10 +158,9 @@ class LogStarLayout {
  public:
   LogStarLayout(const Monoid& monoid, const LinearGapCertificate& cert,
                 const SynthesisStrategy& strategy, const View& view, std::size_t ell,
-                std::size_t gap, std::size_t orient_ell)
+                std::size_t min_gap, std::size_t gap, std::size_t orient_ell)
       : monoid_(monoid), cert_(cert), strategy_(strategy), view_(view), ell_(ell) {
     const std::size_t len = view.size();
-    const std::size_t min_gap = 2 * ell + 6;
     const std::size_t h_flip = gap;           // keep blocks clear of flips
     const std::size_t h_end = ell + gap + 2;  // and of the end blocks' zone
     const bool path = !strategy.cycle();
@@ -334,7 +351,8 @@ Label SynthesizedLogStar::run(const View& view) const {
 }
 
 Label SynthesizedLogStar::run_large(const View& view) const {
-  const LogStarLayout layout(*monoid_, *cert_, strategy_, view, ell_, gap_, orient_ell_);
+  const LogStarLayout layout(*monoid_, *cert_, strategy_, view, ell_, min_gap_, gap_,
+                             orient_ell_);
   return layout.label_at(view.center);
 }
 
@@ -350,19 +368,51 @@ SynthesizedConstant::SynthesizedConstant(const Monoid& monoid,
   if (!certificate.feasible) {
     throw std::invalid_argument("SynthesizedConstant: certificate is infeasible");
   }
-  ell_ = certificate.ell_ctx;
-  const std::size_t p0 = ell_ + 3;  // maximum claimed period
-  scale_ = (2 * ell_ + 6) * p0;     // L0: periodic-run threshold at max period
-  domin_ = (monoid.transitions().num_inputs() + 2) * scale_;  // seed domination D
-  radius_ = 7 * domin_ + 10 * scale_ + 64;
-  if (!strategy_.cycle()) radius_ += 2 * scale_ + 64;
+  // Lambda: the maximum over monoid elements of the pre-period of the
+  // forward-matrix power sequence. A buffer of t pattern blocks has the
+  // same matrix as one of t + k*period blocks for every k, so once t
+  // reaches the pre-period it realizes a power the certificate verified at
+  // its own block length L — the excess blocks fold into the middle
+  // element the gluing checks quantify over. Per-run pre-periods (computed
+  // from each claimed region's actual rotations) are bounded by this, so
+  // it is what the global margins scale with — replacing the worst-case
+  // ell_ctx ~ |monoid| factor.
+  for (std::size_t e = 0; e < monoid.size(); ++e) {
+    lam_ = std::max(lam_, static_cast<std::size_t>(
+                              monoid.element(e).fwd.stabilize().first));
+  }
+  // Maximum claimed period: one past it every seed gap's chunk interior is
+  // long enough that pump_decomposition is guaranteed (interior length
+  // ce - cb - 4 >= ell_pump + 5), so no period falls between "claimed" and
+  // "pumpable" — the band a periodic adversarial input could hide in.
+  const std::size_t p0 = monoid.ell_pump() + 8;
+  // L0: candidate-window length. Two candidate windows agreeing at shift
+  // d <= p0 witness a periodic run of length >= scale + d >= (2 lam + 8) d
+  // — long enough to be claimed, contradicting candidacy; so surviving
+  // seeds are > p0 apart and their interiors pump.
+  scale_ = (2 * lam_ + 8) * p0;
+  const bool unary = monoid.transitions().num_inputs() < 2;
+  // Unary-input problems have no irregular stretches at all: the whole
+  // window is one claimed period-1 run, so the seed machinery is provably
+  // idle and the domination radius drops out of every bound.
+  domin_ = unary ? 0 : (monoid.transitions().num_inputs() + 2) * scale_;
+  radius_ = unary ? 2 * scale_ + 64 : 3 * domin_ + 6 * scale_ + 64;
+  if (!strategy_.cycle()) radius_ += unary ? scale_ + 64 : 2 * scale_ + 64;
   if (!strategy_.directed()) {
     // Runs must be long enough that each contains anchors (a periodic
     // region or a pumpable chunk shows up in every D + O(L0) stretch), so
     // consecutive anchors — also across flips — stay within the window.
-    orient_ell_ = domin_ + 4 * scale_ + 64;
+    orient_ell_ = domin_ + (unary ? 2 : 4) * scale_ + 64;
     radius_ += strategy_.orientation_margin(orient_ell_) + 2 * scale_ + 64;
   }
+}
+
+std::size_t SynthesizedConstant::radius(std::size_t n) const {
+  // Clamp to the full-view threshold: radius(n) <= n always, and at the
+  // clamp run() answers with the canonical full-view solve — the
+  // gather-all self-selection rule (see the header).
+  const std::size_t full = strategy_.cycle() ? (n + 1) / 2 : (n == 0 ? 0 : n - 1);
+  return std::min(radius_, full);
 }
 
 namespace {
@@ -378,36 +428,65 @@ struct ConstAnalysis {
   const ConstGapCertificate& cert;
   Word in;
   std::size_t len;
-  std::size_t ell, p0, buffer_blocks, scale, domin;
+  std::size_t p0, scale, domin;
 
   /// Periodic-region claims: period[i] = claimed primitive period (0 if
   /// none); run_begin/run_end[i] = maximal run extent (clipped at the
-  /// segment).
-  std::vector<std::size_t> period, run_begin, run_end;
-  /// anchored[i]: inside a claimed region, at least buffer_blocks * q from
-  /// both visible run ends.
+  /// segment); run_margin[i] = the run's anchor margin, derived from the
+  /// pre-period of its own rotations' forward matrices.
+  std::vector<std::size_t> period, run_begin, run_end, run_margin;
+  /// anchored[i]: inside a claimed region, at least run_margin from both
+  /// visible run ends.
   std::vector<char> anchored;
   std::vector<Label> anchor_label;
 
   /// Seed flags (chunk boundaries in irregular zones).
   std::vector<char> seed;
 
+  /// Pre-period of an element's forward-matrix power sequence (>= 1),
+  /// memoized per element — the per-pattern buffer length.
+  mutable std::vector<std::size_t> preperiod_cache;
+
   ConstAnalysis(const Monoid& m, const ConstGapCertificate& c, Word inputs,
-                std::size_t ell_pump, std::size_t scale_in, std::size_t domin_in)
+                std::size_t scale_in, std::size_t domin_in)
       : monoid(m),
         ts(m.transitions()),
         problem(m.transitions().problem()),
         cert(c),
         in(std::move(inputs)),
         len(in.size()),
-        ell(ell_pump),
-        p0(ell_pump + 3),
-        buffer_blocks(ell_pump + 1),
+        p0(m.ell_pump() + 8),
         scale(scale_in),
-        domin(domin_in) {
+        domin(domin_in),
+        preperiod_cache(m.size(), kUnknown) {
     find_periodic_regions();
     find_anchors();
     find_seeds();
+  }
+
+  static constexpr std::size_t kUnknown = static_cast<std::size_t>(-1);
+
+  std::size_t preperiod_of(std::size_t element) const {
+    std::size_t& memo = preperiod_cache[element];
+    if (memo == kUnknown) {
+      memo = std::max<std::size_t>(
+          1, static_cast<std::size_t>(monoid.element(element).fwd.stabilize().first));
+    }
+    return memo;
+  }
+
+  /// The claimed run's buffer pre-period: the maximum over the pattern's q
+  /// rotations (all of which occur as subwords of the run), so the value
+  /// is phase-invariant — observers whose windows clip the run at
+  /// different phases still derive the same margin.
+  std::size_t run_preperiod(std::size_t begin, std::size_t q) const {
+    std::size_t worst = 1;
+    for (std::size_t s = 0; s < q; ++s) {
+      const Word rotation(in.begin() + static_cast<std::ptrdiff_t>(begin + s),
+                          in.begin() + static_cast<std::ptrdiff_t>(begin + s + q));
+      worst = std::max(worst, preperiod_of(monoid.of_word(rotation)));
+    }
+    return worst;
   }
 
   /// Lexicographically smallest valid periodic labeling of the pattern w
@@ -432,8 +511,8 @@ struct ConstAnalysis {
     period.assign(len, 0);
     run_begin.assign(len, 0);
     run_end.assign(len, 0);
+    run_margin.assign(len, 0);
     for (std::size_t q = 1; q <= p0; ++q) {
-      const std::size_t threshold = (2 * ell + 6) * q;
       std::size_t i = 0;
       while (i + q < len) {
         if (in[i] != in[i + q]) {
@@ -445,12 +524,22 @@ struct ConstAnalysis {
         while (j + q < len && in[j] == in[j + q]) ++j;
         const std::size_t begin = i;
         const std::size_t end = j + q;  // exclusive: the periodic run
-        if (end - begin >= threshold) {
-          for (std::size_t k = begin; k < end; ++k) {
-            if (period[k] == 0) {
-              period[k] = q;
-              run_begin[k] = begin;
-              run_end[k] = end;
+        // Claim threshold and anchor margin from this run's own rotations:
+        // buffer_blocks = pre-period + 2 blocks on each side absorb into
+        // the certificate's verified powers, and the threshold leaves an
+        // anchored middle of >= 2 blocks beyond both margins.
+        if (end - begin >= 2 * q) {
+          const std::size_t a_run = run_preperiod(begin, q);
+          const std::size_t margin = (a_run + 3) * q;
+          const std::size_t threshold = 2 * margin + 2 * q;
+          if (end - begin >= threshold) {
+            for (std::size_t k = begin; k < end; ++k) {
+              if (period[k] == 0) {
+                period[k] = q;
+                run_begin[k] = begin;
+                run_end[k] = end;
+                run_margin[k] = margin;
+              }
             }
           }
         }
@@ -468,7 +557,7 @@ struct ConstAnalysis {
     for (std::size_t i = 0; i < len; ++i) {
       const std::size_t q = period[i];
       if (q == 0) continue;
-      const std::size_t margin = buffer_blocks * q + q;
+      const std::size_t margin = run_margin[i];
       if (i < run_begin[i] + margin || i + margin >= run_end[i]) continue;
       // Canonical rotation of the period and the phase of i within it.
       Word rotation(in.begin() + static_cast<std::ptrdiff_t>(i),
@@ -559,9 +648,9 @@ constexpr std::size_t kUnmapped = static_cast<std::size_t>(-1);
 class ConstLayout {
  public:
   ConstLayout(const Monoid& monoid, const ConstGapCertificate& cert,
-              const SynthesisStrategy& strategy, const View& view, std::size_t ell,
-              std::size_t scale, std::size_t domin, std::size_t orient_ell)
-      : monoid_(monoid), cert_(cert), strategy_(strategy), view_(view), ell_(ell) {
+              const SynthesisStrategy& strategy, const View& view, std::size_t scale,
+              std::size_t domin, std::size_t orient_ell)
+      : monoid_(monoid), cert_(cert), strategy_(strategy), view_(view) {
     const std::size_t len = view.size();
     v_of_real_.assign(len, kUnmapped);
 
@@ -570,7 +659,7 @@ class ConstLayout {
       Word sub(view.inputs.begin() + static_cast<std::ptrdiff_t>(seg.begin),
                view.inputs.begin() + static_cast<std::ptrdiff_t>(seg.end));
       if (!fwd) std::reverse(sub.begin(), sub.end());
-      const ConstAnalysis az(monoid, cert, std::move(sub), ell, scale, domin);
+      const ConstAnalysis az(monoid, cert, std::move(sub), scale, domin);
       append_segment(seg, az);
     }
     for (std::size_t vi = 0; vi < vseq_.size(); ++vi) {
@@ -599,7 +688,6 @@ class ConstLayout {
   const ConstGapCertificate& cert_;
   const SynthesisStrategy& strategy_;
   const View& view_;
-  std::size_t ell_;
   std::vector<VirtualEntry> vseq_;
   std::vector<std::size_t> v_of_real_;
   std::vector<Interior> interiors_;
@@ -626,7 +714,10 @@ class ConstLayout {
       for (std::size_t j = 0; j + 1 < seeds.size(); ++j) {
         const std::size_t cb = seeds[j];
         const std::size_t ce = seeds[j + 1];
-        if (ce - cb < ell_ + 5) continue;  // interior too short to pump
+        // Seeds closer than p0 cannot coexist (equal windows at shift
+        // d <= p0 witness a claimable run; unequal ones dominate), so the
+        // interior is >= ell_pump + 5 long and always pumps. Defensive.
+        if (ce - cb <= az.p0) continue;
         // Chunks live in irregular stretches only: a seed pair straddling
         // a claimed periodic run must not be pumped (it would swallow the
         // run's anchors and leave everything beyond the pumped middle
@@ -675,7 +766,13 @@ class ConstLayout {
       // the periodic labeling), z. Real positions map to the x/z parts;
       // inserted nodes carry real = -1; the pumped-away middle stays
       // unmapped (it is never queried directly — pull-back covers it).
-      const std::size_t k_blocks = 2 * ell_ + 8;
+      // The buffer on each side of the anchored middle is a_y + 2 blocks,
+      // where a_y is the pre-period of y's forward-matrix powers: past it
+      // the buffer realizes a certificate-verified power (excess folds
+      // into the quantified middle element), so the worst-case ell-sized
+      // buffers are unnecessary.
+      const std::size_t a_y = az.preperiod_of(monoid_.of_word(interior->pump.y));
+      const std::size_t k_blocks = 2 * a_y + 8;
       const Word& x = interior->pump.x;
       const Word& y = interior->pump.y;
       const Word& z = interior->pump.z;
@@ -686,7 +783,7 @@ class ConstLayout {
         entries.push_back(e);
       }
       for (std::size_t b = 0; b < k_blocks; ++b) {
-        const bool anchored_block = b >= ell_ + 2 && b + ell_ + 2 < k_blocks;
+        const bool anchored_block = b >= a_y + 2 && b + a_y + 2 < k_blocks;
         for (std::size_t t = 0; t < y.size(); ++t) {
           VirtualEntry e;
           e.input = y[t];
@@ -814,7 +911,7 @@ Label SynthesizedConstant::run(const View& view) const {
 }
 
 Label SynthesizedConstant::run_large(const View& view) const {
-  const ConstLayout layout(*monoid_, *cert_, strategy_, view, ell_, scale_, domin_,
+  const ConstLayout layout(*monoid_, *cert_, strategy_, view, scale_, domin_,
                            orient_ell_);
   return layout.label_at(view.center);
 }

@@ -21,6 +21,24 @@
 //    broken by input irregularity alone — window-lexicographic local
 //    maxima — never by IDs, which is what makes the algorithm O(1).
 //
+// Radii are derived per problem, not from worst-case composition. The log*
+// context length is the monoid's layer-stabilization point (every context
+// of at least that length lands inside the certificate domain), and the
+// constant-class margins scale with the pre-period of the forward-matrix
+// power sequences (a buffer of t pattern blocks has the same matrix as a
+// certificate-length buffer once t reaches the pre-period — extra blocks
+// fold into the quantified-over middle element), with per-run pre-periods
+// recomputed from each claimed region's actual rotations. Unary-input
+// problems drop the seed-domination term entirely: every window is one
+// claimed period-1 run, so the chunk machinery is provably idle.
+//
+// Gather-all self-selection: radius(n) clamps to the full-view threshold
+// ((n + 1) / 2 on cycles, n - 1 on paths), and run() answers full views
+// with the canonical solve — so whenever the derived radius exceeds the
+// instance regime the synthesized algorithm *is* gather-all by
+// construction, never a nominally-constant algorithm that sees more than
+// the instance and loses to the Theta(n) baseline.
+//
 // The topology axis is factored into a SynthesisStrategy shared by both
 // algorithms:
 //
@@ -133,10 +151,11 @@ class SynthesizedLogStar final : public LocalAlgorithm {
   const Monoid* monoid_;
   const LinearGapCertificate* cert_;
   SynthesisStrategy strategy_;
-  std::size_t ell_ = 0;        ///< certificate context length
+  std::size_t ell_ = 0;        ///< context length (layer stabilization point)
+  std::size_t min_gap_ = 0;    ///< requested ruling-set gap lower bound
   std::size_t gap_ = 0;        ///< ruling-set minimum gap m (power of two)
   std::size_t orient_ell_ = 0; ///< ell-orientation scale (undirected only)
-  std::size_t radius_ = 0;     ///< constant part of the view radius
+  std::size_t radius_ = 0;     ///< structured-regime view radius
 
   Label run_large(const View& view) const;
 };
@@ -148,21 +167,20 @@ class SynthesizedConstant final : public LocalAlgorithm {
   std::string name() const override {
     return "synthesized-constant[" + std::string(strategy_.name()) + "]";
   }
-  std::size_t radius(std::size_t /*n*/) const override { return radius_; }
+  std::size_t radius(std::size_t n) const override;
   Label run(const View& view) const override;
 
-  std::size_t ell_pump() const { return ell_; }
   const SynthesisStrategy& strategy() const { return strategy_; }
 
  private:
   const Monoid* monoid_;
   const ConstGapCertificate* cert_;
   SynthesisStrategy strategy_;
-  std::size_t ell_ = 0;        ///< pump threshold (monoid size + margin)
-  std::size_t scale_ = 0;      ///< L0: periodic-region length threshold
-  std::size_t domin_ = 0;      ///< D: seed domination radius
+  std::size_t lam_ = 1;        ///< max forward-matrix power pre-period
+  std::size_t scale_ = 0;      ///< L0: candidate-window / claim-margin scale
+  std::size_t domin_ = 0;      ///< D: seed domination radius (0 when unary)
   std::size_t orient_ell_ = 0; ///< ell-orientation scale (undirected only)
-  std::size_t radius_ = 0;
+  std::size_t radius_ = 0;     ///< structured-regime view radius
 
   Label run_large(const View& view) const;
 };

@@ -192,6 +192,92 @@ TEST(SynthesizedTopologies, ReversalUndirectedPath) {
   }
 }
 
+// ------------------------------------------------- per-problem radii
+
+// Pinned ceilings ~10% above the measured per-problem radii (ISSUE 7: the
+// margins are derived from each problem's own certificate structure, not
+// worst-case composition). A regression that reintroduces a worst-case
+// term fails here long before it shows up as a slow benchmark row.
+TEST(SynthesizedTopologies, RadiusCeilings) {
+  const std::size_t n = 1 << 20;
+  const auto radius_of = [n](const PairwiseProblem& p) {
+    return classify(p).synthesize()->radius(n);
+  };
+  // Theta(log* n): 3-coloring. Measured 519 / 570 / 987 / 1038.
+  EXPECT_LE(radius_of(catalog::coloring(3, Topology::kDirectedCycle)), 600u);
+  EXPECT_LE(radius_of(catalog::coloring(3, Topology::kDirectedPath)), 650u);
+  EXPECT_LE(radius_of(catalog::coloring(3, Topology::kUndirectedCycle)), 1100u);
+  EXPECT_LE(radius_of(catalog::coloring(3, Topology::kUndirectedPath)), 1150u);
+  // O(1), unary inputs: constant-output. Measured 264 / 428 / 1589 / 1753.
+  EXPECT_LE(radius_of(catalog::constant_output(Topology::kDirectedCycle)), 300u);
+  EXPECT_LE(radius_of(catalog::constant_output(Topology::kDirectedPath)), 480u);
+  EXPECT_LE(radius_of(catalog::constant_output(Topology::kUndirectedCycle)), 1750u);
+  EXPECT_LE(radius_of(catalog::constant_output(Topology::kUndirectedPath)), 1950u);
+  // O(1), binary inputs (seed machinery live): copy-input, shift-input.
+  // Measured 2404 / 2728 and 4924 / 5528.
+  EXPECT_LE(radius_of(catalog::copy_input(Topology::kDirectedCycle)), 2700u);
+  EXPECT_LE(radius_of(catalog::copy_input(Topology::kDirectedPath)), 3000u);
+  EXPECT_LE(radius_of(catalog::shift_input(Topology::kDirectedCycle)), 5500u);
+  EXPECT_LE(radius_of(catalog::shift_input(Topology::kDirectedPath)), 6100u);
+  // O(1), trivial constraints: always-accept. Measured 284 / 458.
+  EXPECT_LE(radius_of(catalog::always_accept(Topology::kDirectedCycle)), 320u);
+  EXPECT_LE(radius_of(catalog::always_accept(Topology::kDirectedPath)), 520u);
+}
+
+// Gather-all self-selection: below the structured regime, radius(n) clamps
+// to the full-view threshold — (n + 1) / 2 on cycles, n - 1 on paths — so
+// the advertised radius can never exceed the instance (the ISSUE 7 bench
+// pathology: an "O(1)" algorithm whose radius is 5x the cycle).
+TEST(SynthesizedTopologies, RadiusClampsToFullViewThreshold) {
+  for (Topology t : {Topology::kDirectedCycle, Topology::kDirectedPath,
+                     Topology::kUndirectedCycle, Topology::kUndirectedPath}) {
+    for (const PairwiseProblem& p :
+         {catalog::coloring(3, t), catalog::constant_output(t)}) {
+      const auto algorithm = classify(p).synthesize();
+      const std::size_t structured = algorithm->radius(1 << 20);
+      for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{9},
+                            std::size_t{257}, structured, 2 * structured}) {
+        const std::size_t r = algorithm->radius(n);
+        EXPECT_LE(r, n) << p.name() << " " << to_string(t) << " n=" << n;
+        const std::size_t full = is_cycle(t) ? (n + 1) / 2 : n - 1;
+        EXPECT_LE(r, full) << p.name() << " " << to_string(t) << " n=" << n;
+      }
+    }
+  }
+}
+
+// Adversarial instance shapes for the O(1) partition: bands of constant,
+// short-period, long-period (12: above any claimed period the analysis
+// might prefer), and random inputs, abutting each other and the path ends.
+// Every band boundary is a periodic-region/irregular-chunk seam; the
+// per-run pre-period margins must still enclose every virtual gap.
+TEST(SynthesizedTopologies, AdversarialMixedShapes) {
+  Rng rng(213);
+  for (Topology t : {Topology::kDirectedCycle, Topology::kDirectedPath}) {
+    const PairwiseProblem problem = catalog::copy_input(t);
+    const ClassifiedProblem result = classify(problem);
+    ASSERT_EQ(result.complexity(), ComplexityClass::kConstant) << result.summary();
+    const auto algorithm = result.synthesize();
+    const std::size_t r = algorithm->radius(1 << 20);
+    const std::size_t n = 2 * r + 61;
+    Instance instance = random_instance(t, n, 2, rng);
+    const std::size_t band = n / 6;
+    for (std::size_t v = 0; v < n; ++v) {
+      switch (v / band) {
+        case 0: instance.inputs[v] = 0; break;            // constant
+        case 1: instance.inputs[v] = v % 2; break;        // period 2
+        case 2: break;                                    // random
+        case 3: instance.inputs[v] = v % 12 < 5; break;   // period 12
+        case 4: instance.inputs[v] = 1; break;            // constant
+        default: break;                                   // random tail
+      }
+    }
+    const auto sim = simulate(*algorithm, problem, instance);
+    EXPECT_TRUE(sim.verdict.ok)
+        << problem.name() << " on " << to_string(t) << ": " << sim.verdict.reason;
+  }
+}
+
 // The strategy names surface in the algorithm names (the CLI prints them).
 TEST(SynthesizedTopologies, AlgorithmNamesCarryStrategy) {
   EXPECT_EQ(classify(catalog::coloring(3)).synthesize()->name(),

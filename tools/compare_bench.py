@@ -19,7 +19,12 @@ several x):
     above a per-unit noise floor. Improvements and noise-level wiggle just
     print. The tight absolute budgets live in the benches' --perf-smoke
     modes; this gate exists to catch structural drift and gross
-    (lazy-certificate-sized) slowdowns, not single-digit percentages.
+    (lazy-certificate-sized) slowdowns, not single-digit percentages;
+  * synthesized-vs-gather-all rows (any dict carrying synthesized_s and
+    gather_s) additionally fail absolutely — on the fresh file alone —
+    when synthesized_radius >= n or synthesized_s > gather_s: the
+    synthesized algorithm self-selecting into a worse-than-baseline
+    regime is a bug at any machine speed.
 
 Exit code 0 = within policy, 1 = regression or drift (fails the CI step).
 """
@@ -98,6 +103,33 @@ class Report:
             self.lines.append(f"  note  {line}")
 
 
+def check_synth_rows(node, path, report):
+    """Absolute tripwires on the fresh synthesized-vs-gather-all rows.
+
+    ISSUE 7's bench pathology: a nominally-O(1) algorithm whose derived
+    radius exceeded the instance, so "synthesized" saw more than gather-all
+    and lost to it. The per-problem radii make that impossible by
+    construction; this check keeps it impossible. Unlike the relative
+    metric policy above, these compare fresh against itself (no baseline
+    machine-speed excuse applies to radius >= n or losing to the baseline
+    measured in the same process)."""
+    if isinstance(node, dict):
+        if "synthesized_s" in node and "gather_s" in node:
+            if node.get("synthesized_radius", 0) >= node.get("n", float("inf")):
+                report.drift(path, f"synthesized_radius {node['synthesized_radius']}"
+                                   f" >= n {node['n']}")
+            if node["synthesized_s"] > node["gather_s"]:
+                report.drift(path, f"synthesized_s {node['synthesized_s']} > "
+                                   f"gather_s {node['gather_s']} (loses to the "
+                                   f"Theta(n) baseline)")
+        for key, value in node.items():
+            check_synth_rows(value, f"{path}.{key}" if path else key, report)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            tag = value.get("problem", i) if isinstance(value, dict) else i
+            check_synth_rows(value, f"{path}[{tag}]", report)
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("baseline")
@@ -115,6 +147,7 @@ def main():
 
     report = Report(args.max_slowdown)
     walk(baseline, fresh, "", report)
+    check_synth_rows(fresh, "", report)
 
     print(f"compare_bench: {args.fresh} vs baseline {args.baseline}")
     for line in report.lines:

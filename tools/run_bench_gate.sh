@@ -46,8 +46,11 @@ case "$family" in
       --perf-smoke=60 --benchmark_list_tests=true
     ;;
   synthesized)
+    # --perf-smoke runs the self-selection tripwires on every row
+    # (synthesized_radius < n, synthesized_s <= gather_s) on top of the
+    # overall fixed-cost budget.
     run "$build/bench_synthesized" --emit-json=BENCH_synthesized.fresh.json \
-      --benchmark_list_tests=true
+      --perf-smoke=60 --benchmark_list_tests=true
     ;;
   hardness)
     # Five binaries, one tracked JSON: each emits its own top-level
