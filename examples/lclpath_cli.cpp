@@ -122,7 +122,8 @@ int run_classify_batch(int argc, char** argv) {
   return failures == 0 ? 0 : 1;
 }
 
-int classify_and_report(const lclpath::PairwiseProblem& problem, bool run_sample) {
+int classify_and_report(const lclpath::PairwiseProblem& problem, bool run_sample,
+                        const lclpath::SimulationOptions& sim_options = {}) {
   using namespace lclpath;
   const ClassifiedProblem result = classify(problem);
   std::printf("%s\n", result.summary().c_str());
@@ -145,8 +146,10 @@ int classify_and_report(const lclpath::PairwiseProblem& problem, bool run_sample
   const std::size_t n =
       std::min<std::size_t>(4096, 2 * algorithm->radius(1 << 20) + 33);
   Instance instance = random_instance(problem.topology(), n, problem.num_inputs(), rng);
-  const SimulationResult sim = simulate(*algorithm, problem, instance);
-  std::printf("  sample run: n = %zu, radius = %zu, output %s\n", n, sim.radius,
+  const SimulationResult sim = simulate(*algorithm, problem, instance, sim_options);
+  std::printf("  sample run: n = %zu, radius = %zu, threads = %zu, chunks = %zu, "
+              "output %s\n",
+              n, sim.radius, sim.threads_used, sim.chunks,
               sim.verdict.ok ? "valid" : ("INVALID (" + sim.verdict.reason + ")").c_str());
   return sim.verdict.ok ? 0 : 1;
 }
@@ -165,9 +168,33 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
-  if (argc != 2) {
+  // Single-problem mode: [--threads N] steers the sample run's chunked
+  // simulation engine (0 = serial; classify itself stays single-threaded).
+  SimulationOptions sim_options;
+  const char* path = nullptr;
+  bool usage_error = argc < 2;
+  for (int i = 1; i < argc && !usage_error; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--threads needs a count\n");
+        return 2;
+      }
+      char* end = nullptr;
+      const long count = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || count < 0) {
+        std::fprintf(stderr, "--threads: '%s' is not a thread count\n", argv[i]);
+        return 2;
+      }
+      sim_options.threads = static_cast<std::size_t>(count);
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      usage_error = true;
+    }
+  }
+  if (usage_error || path == nullptr) {
     std::fprintf(stderr,
-                 "usage: %s <problem.lcl | - | --demo>\n"
+                 "usage: %s [--threads N] <problem.lcl | - | --demo>\n"
                  "       %s classify-batch [--threads N] [file.lcl ... | -]\n"
                  "File format: see lcl/serialize.hpp (lcl/topology/inputs/outputs/"
                  "node/edge/first/last/end).\n",
@@ -175,8 +202,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
-    const PairwiseProblem problem = parse_problem(read_source(argv[1]));
-    return classify_and_report(problem, true);
+    const PairwiseProblem problem = parse_problem(read_source(path));
+    return classify_and_report(problem, true, sim_options);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

@@ -205,10 +205,81 @@ class LogStarLayout {
   Label label_at(std::size_t c) const {
     const std::size_t len = view_.size();
     const bool path = !strategy_.cycle();
-    if (path && view_.sees_left_end && c < ell_) return end_completion(c, true);
-    if (path && view_.sees_right_end && c >= len - ell_) return end_completion(c, false);
+    if (path && view_.sees_left_end && c < ell_) {
+      return end_zone_word(true).first[c];
+    }
+    if (path && view_.sees_right_end && c >= len - ell_) {
+      const auto [word, lo] = end_zone_word(false);
+      return word[c - lo];
+    }
 
-    // The first block at or after c.
+    const std::size_t lo = first_block_at_or_after(c);
+    if (lo < blocks_.size() && blocks_[lo].anchor <= c) {
+      const auto [la, lb] = block_labels(lo);
+      return c == blocks_[lo].anchor ? la : lb;
+    }
+    if (lo == 0 || lo == blocks_.size()) {
+      throw std::logic_error("logstar: no enclosing blocks in window");
+    }
+    return gap_completion(lo)[c - blocks_[lo - 1].anchor];
+  }
+
+  /// Labels every window position in [begin, end) into out, computing each
+  /// end-zone / inter-block completion word once and reading label runs off
+  /// it — the chunk-sweep form of label_at, bit-identical by construction
+  /// (every position routes through the same completion it would alone).
+  void labels_span(std::size_t begin, std::size_t end, Label* out) const {
+    const std::size_t len = view_.size();
+    const bool path = !strategy_.cycle();
+    std::size_t c = begin;
+    while (c < end) {
+      if (path && view_.sees_left_end && c < ell_) {
+        const auto [word, lo] = end_zone_word(true);
+        const std::size_t stop = std::min(end, ell_);
+        for (; c < stop; ++c) out[c - begin] = word[c - lo];
+        continue;
+      }
+      if (path && view_.sees_right_end && c >= len - ell_) {
+        const auto [word, lo] = end_zone_word(false);
+        for (; c < end; ++c) out[c - begin] = word[c - lo];
+        continue;
+      }
+      const std::size_t lo = first_block_at_or_after(c);
+      if (lo < blocks_.size() && blocks_[lo].anchor <= c) {
+        const auto [la, lb] = block_labels(lo);
+        if (c == blocks_[lo].anchor) {
+          out[c - begin] = la;
+          if (++c >= end) break;
+        }
+        if (c == blocks_[lo].anchor + 1) {
+          out[c - begin] = lb;
+          ++c;
+        }
+        continue;
+      }
+      if (lo == 0 || lo == blocks_.size()) {
+        throw std::logic_error("logstar: no enclosing blocks in window");
+      }
+      const std::size_t u_anchor = blocks_[lo - 1].anchor;
+      const Word word = gap_completion(lo);
+      // Positions on block lo itself route through block_labels, exactly
+      // as label_at does (the completion fixes the same values there).
+      const std::size_t stop = std::min(end, blocks_[lo].anchor);
+      for (; c < stop; ++c) out[c - begin] = word[c - u_anchor];
+    }
+  }
+
+ private:
+  const Monoid& monoid_;
+  const LinearGapCertificate& cert_;
+  const SynthesisStrategy& strategy_;
+  const View& view_;
+  std::size_t ell_;
+  std::vector<PlacedBlock> blocks_;
+
+  /// Index of the first block whose pair (anchor, anchor + 1) ends at or
+  /// after c; blocks_.size() when none does.
+  std::size_t first_block_at_or_after(std::size_t c) const {
     std::size_t hi = blocks_.size();
     std::size_t lo = 0;
     while (lo < hi) {
@@ -219,15 +290,13 @@ class LogStarLayout {
         hi = mid;
       }
     }
-    if (lo < blocks_.size() && blocks_[lo].anchor <= c) {
-      const auto [la, lb] = block_labels(lo);
-      return c == blocks_[lo].anchor ? la : lb;
-    }
-    if (lo == 0 || lo == blocks_.size()) {
-      throw std::logic_error("logstar: no enclosing blocks in window");
-    }
-    // Between blocks lo-1 and lo: complete the sub-path with the four
-    // block labels fixed.
+    return lo;
+  }
+
+  /// Completion of the segment between blocks lo-1 and lo with the four
+  /// block labels fixed, covering window positions
+  /// [blocks_[lo-1].anchor, blocks_[lo].anchor + 2).
+  Word gap_completion(std::size_t lo) const {
     const PlacedBlock& u = blocks_[lo - 1];
     const PlacedBlock& w = blocks_[lo];
     const auto [ua, ub] = block_labels(lo - 1);
@@ -245,16 +314,8 @@ class LogStarLayout {
     if (!completion) {
       throw std::logic_error("logstar: segment completion failed (gluing violated)");
     }
-    return (*completion)[c - u.anchor];
+    return *std::move(completion);
   }
-
- private:
-  const Monoid& monoid_;
-  const LinearGapCertificate& cert_;
-  const SynthesisStrategy& strategy_;
-  const View& view_;
-  std::size_t ell_;
-  std::vector<PlacedBlock> blocks_;
 
   /// The left block's share of the inter-block segment of length z. The
   /// directed rule is positional (presentation-left takes floor(z/2)); the
@@ -308,8 +369,10 @@ class LogStarLayout {
 
   /// Prefix/suffix completion against the true path end, with the end
   /// block's labels fixed (existence is the certificate's endpoint
-  /// filter on kLeftEnd/kRightEnd candidates).
-  Label end_completion(std::size_t c, bool left) const {
+  /// filter on kLeftEnd/kRightEnd candidates). Returns the completion word
+  /// together with the window position it starts at: left covers
+  /// [0, ell + 2), right covers [len - ell - 2, len).
+  std::pair<Word, std::size_t> end_zone_word(bool left) const {
     const std::size_t len = view_.size();
     const std::size_t anchor = left ? ell_ : len - ell_ - 2;
     std::size_t bi = blocks_.size();
@@ -334,7 +397,7 @@ class LogStarLayout {
     if (!completion) {
       throw std::logic_error("logstar: end completion failed (endpoint filter violated)");
     }
-    return (*completion)[c - lo];
+    return {*std::move(completion), lo};
   }
 };
 
@@ -354,6 +417,26 @@ Label SynthesizedLogStar::run_large(const View& view) const {
   const LogStarLayout layout(*monoid_, *cert_, strategy_, view, ell_, min_gap_, gap_,
                              orient_ell_);
   return layout.label_at(view.center);
+}
+
+bool SynthesizedLogStar::run_span(const View& window, std::size_t begin,
+                                  std::size_t end, Label* out) const {
+  if (window.topology != strategy_.topology()) {
+    throw std::invalid_argument("SynthesizedLogStar: view topology mismatch");
+  }
+  // Instance-covering windows route through the canonical full-view solve
+  // (which the engine memoizes itself); the span path serves only the
+  // structured regime.
+  const bool full = strategy_.cycle() ? window.size() == window.n : window.n <= radius_ + 1;
+  if (full) return false;
+  const LogStarLayout layout(*monoid_, *cert_, strategy_, window, ell_, min_gap_, gap_,
+                             orient_ell_);
+  layout.labels_span(begin, end, out);
+  return true;
+}
+
+const PairwiseProblem* SynthesizedLogStar::full_view_problem() const {
+  return &monoid_->transitions().problem();
 }
 
 // ---------------------------------------------------------------------------
@@ -669,7 +752,9 @@ class ConstLayout {
 
   Label label_at(std::size_t c) const {
     for (const Interior& interior : interiors_) {
-      if (c >= interior.begin && c < interior.end) return pull_back(interior, c);
+      if (c >= interior.begin && c < interior.end) {
+        return interior_word(interior)[c - (interior.begin - 2)];
+      }
     }
     const std::size_t vi = v_of_real_[c];
     if (vi == kUnmapped) {
@@ -678,10 +763,56 @@ class ConstLayout {
     return complete_gap_at(vi);
   }
 
+  /// Labels every window position in [begin, end) into out — the
+  /// chunk-sweep form of label_at. Each virtual-gap completion and each
+  /// interior pull-back is computed once and read for every position it
+  /// covers; routing per position is identical to label_at, so the labels
+  /// are bit-identical by construction.
+  void labels_span(std::size_t begin, std::size_t end, Label* out) const {
+    GapWord gap;
+    const Interior* cached_interior = nullptr;
+    Word cached_pull_back;
+    for (std::size_t c = begin; c < end; ++c) {
+      const Interior* hit = nullptr;
+      for (const Interior& interior : interiors_) {
+        if (c >= interior.begin && c < interior.end) {
+          hit = &interior;
+          break;
+        }
+      }
+      if (hit != nullptr) {
+        if (hit != cached_interior) {
+          cached_pull_back = interior_word(*hit);
+          cached_interior = hit;
+        }
+        out[c - begin] = cached_pull_back[c - (hit->begin - 2)];
+        continue;
+      }
+      const std::size_t vi = v_of_real_[c];
+      if (vi == kUnmapped) {
+        throw std::logic_error(
+            "constant: center position missing from the virtual sequence");
+      }
+      if (vseq_[vi].fixed) {
+        out[c - begin] = *vseq_[vi].fixed;
+        continue;
+      }
+      if (gap.word.empty() || vi < gap.lo || vi > gap.hi) gap = gap_word_at(vi);
+      out[c - begin] = gap.word[vi - gap.lo];
+    }
+  }
+
  private:
   struct Interior {
     std::size_t begin = 0, end = 0;  // presentation positions [begin, end)
     Direction dir = Direction::kForward;
+  };
+
+  /// A materialized virtual-gap completion: virtual indices [lo, hi]
+  /// inclusive and the completed labels over them.
+  struct GapWord {
+    std::size_t lo = 0, hi = 0;
+    Word word;
   };
 
   const Monoid& monoid_;
@@ -822,6 +953,13 @@ class ConstLayout {
   /// a true path end, where the endpoint rules take over).
   Label complete_gap_at(std::size_t vi) const {
     if (vseq_[vi].fixed) return *vseq_[vi].fixed;
+    const GapWord gap = gap_word_at(vi);
+    return gap.word[vi - gap.lo];
+  }
+
+  /// The materialized completion of vi's maximal unlabeled run (vi must be
+  /// unlabeled): the run plus its enclosing anchors, completed by one DP.
+  GapWord gap_word_at(std::size_t vi) const {
     std::size_t a = vi;
     while (a > 0 && !vseq_[a - 1].fixed) --a;
     std::size_t b = vi;
@@ -832,11 +970,12 @@ class ConstLayout {
     if ((!left_end_gap && a < 2) || (!right_end_gap && b + 2 >= vseq_.size())) {
       throw std::logic_error("constant: virtual gap not enclosed by anchors in window");
     }
-    const std::size_t lo = left_end_gap ? 0 : a - 2;
-    const std::size_t hi = right_end_gap ? vseq_.size() - 1 : b + 2;  // inclusive
+    GapWord gap;
+    gap.lo = left_end_gap ? 0 : a - 2;
+    gap.hi = right_end_gap ? vseq_.size() - 1 : b + 2;  // inclusive
     Word sub;
     std::vector<std::optional<Label>> fixed;
-    for (std::size_t t = lo; t <= hi; ++t) {
+    for (std::size_t t = gap.lo; t <= gap.hi; ++t) {
       sub.push_back(vseq_[t].input);
       fixed.push_back(vseq_[t].fixed);
     }
@@ -844,12 +983,13 @@ class ConstLayout {
         left_end_gap ? (right_end_gap ? strategy_.full_path() : strategy_.prefix())
                      : (right_end_gap ? strategy_.suffix() : strategy_.interior());
     const bool reverse =
-        (left_end_gap || right_end_gap) ? false : gap_reversed(lo, hi);
+        (left_end_gap || right_end_gap) ? false : gap_reversed(gap.lo, gap.hi);
     auto completion = complete_oriented(problem, std::move(sub), std::move(fixed), reverse);
     if (!completion) {
       throw std::logic_error("constant: virtual gap completion failed (gluing violated)");
     }
-    return (*completion)[vi - lo];
+    gap.word = *std::move(completion);
+    return gap;
   }
 
   /// Direction rule for an interior virtual-gap DP: compare the IDs of the
@@ -870,7 +1010,8 @@ class ConstLayout {
   /// real boundary nodes to their virtual-gap labels (the forward matrix
   /// of the pumped interior equals the real interior's, so a completion
   /// exists; Lemmas 10-11). The DP runs in the owning segment's direction.
-  Label pull_back(const Interior& interior, std::size_t c) const {
+  /// Returns the completion word covering positions [begin - 2, end + 2).
+  Word interior_word(const Interior& interior) const {
     const std::size_t ib = interior.begin;
     const std::size_t ie = interior.end;
     Word sub(view_.inputs.begin() + static_cast<std::ptrdiff_t>(ib - 2),
@@ -886,7 +1027,7 @@ class ConstLayout {
     if (!completion) {
       throw std::logic_error("constant: interior pull-back failed (type mismatch)");
     }
-    return (*completion)[c - (ib - 2)];
+    return *std::move(completion);
   }
 
   std::size_t mapped(std::size_t real_pos) const {
@@ -914,6 +1055,23 @@ Label SynthesizedConstant::run_large(const View& view) const {
   const ConstLayout layout(*monoid_, *cert_, strategy_, view, scale_, domin_,
                            orient_ell_);
   return layout.label_at(view.center);
+}
+
+bool SynthesizedConstant::run_span(const View& window, std::size_t begin,
+                                   std::size_t end, Label* out) const {
+  if (window.topology != strategy_.topology()) {
+    throw std::invalid_argument("SynthesizedConstant: view topology mismatch");
+  }
+  const bool full = strategy_.cycle() ? window.size() == window.n : window.n <= radius_ + 1;
+  if (full) return false;
+  const ConstLayout layout(*monoid_, *cert_, strategy_, window, scale_, domin_,
+                           orient_ell_);
+  layout.labels_span(begin, end, out);
+  return true;
+}
+
+const PairwiseProblem* SynthesizedConstant::full_view_problem() const {
+  return &monoid_->transitions().problem();
 }
 
 }  // namespace lclpath

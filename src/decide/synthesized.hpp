@@ -143,6 +143,17 @@ class SynthesizedLogStar final : public LocalAlgorithm {
   }
   std::size_t radius(std::size_t n) const override;
   Label run(const View& view) const override;
+  /// run() answers instance-covering views with solve_full_view on the
+  /// transition system's problem (gather-all self-selection, see radius()),
+  /// so the engine may memoize the canonical solve across nodes.
+  const PairwiseProblem* full_view_problem() const override;
+  /// Chunk-sweep form: one LogStarLayout over the whole chunk-plus-halo
+  /// window answers every spanned node, computing each inter-block / end
+  /// completion once (ruling and block decisions are content-determined
+  /// with engineered margins, so the wide window derives the same physical
+  /// structure every per-node window does — bit-identical labels).
+  bool run_span(const View& window, std::size_t begin, std::size_t end,
+                Label* out) const override;
 
   std::size_t block_gap() const { return gap_; }
   const SynthesisStrategy& strategy() const { return strategy_; }
@@ -169,6 +180,14 @@ class SynthesizedConstant final : public LocalAlgorithm {
   }
   std::size_t radius(std::size_t n) const override;
   Label run(const View& view) const override;
+  /// Same gather-all self-selection contract as SynthesizedLogStar.
+  const PairwiseProblem* full_view_problem() const override;
+  /// Chunk-sweep form: one ConstLayout (periodic regions, seeds, pumped
+  /// chunks) over the whole chunk-plus-halo window answers every spanned
+  /// node, computing each virtual-gap completion and interior pull-back
+  /// once — same content-determined-structure argument as the log* span.
+  bool run_span(const View& window, std::size_t begin, std::size_t end,
+                Label* out) const override;
 
   const SynthesisStrategy& strategy() const { return strategy_; }
 

@@ -8,16 +8,30 @@ namespace lclpath {
 
 namespace {
 
-std::string node_fail(const PairwiseProblem& p, const Word& in, const Word& out,
-                      std::size_t v) {
-  return "node " + std::to_string(v) + ": (" + p.inputs().name(in[v]) + ", " +
-         p.outputs().name(out[v]) + ") not in C_node";
+// Failure-string builders shared by the whole-word verifier and the
+// streaming chunk verifier, so the two report byte-identical reasons.
+std::string node_fail(const PairwiseProblem& p, Label in, Label out, std::size_t v) {
+  return "node " + std::to_string(v) + ": (" + p.inputs().name(in) + ", " +
+         p.outputs().name(out) + ") not in C_node";
 }
 
-std::string edge_fail(const PairwiseProblem& p, const Word& out, std::size_t u,
-                      std::size_t v) {
+std::string edge_fail(const PairwiseProblem& p, Label out_u, Label out_v,
+                      std::size_t u, std::size_t v) {
   return "edge " + std::to_string(u) + "->" + std::to_string(v) + ": (" +
-         p.outputs().name(out[u]) + ", " + p.outputs().name(out[v]) + ") not in C_edge";
+         p.outputs().name(out_u) + ", " + p.outputs().name(out_v) + ") not in C_edge";
+}
+
+std::string last_fail(const PairwiseProblem& p, Label out) {
+  return "last node output '" + p.outputs().name(out) +
+         "' not allowed at a path end";
+}
+
+void require_symmetric_if_undirected(const PairwiseProblem& problem) {
+  if (!is_directed(problem.topology()) && !problem.is_orientation_symmetric()) {
+    throw std::logic_error(
+        "verify_pairwise: undirected topology requires an orientation-symmetric edge "
+        "constraint");
+  }
 }
 
 }  // namespace
@@ -27,41 +41,141 @@ VerifyResult verify_pairwise(const PairwiseProblem& problem, const Word& inputs,
   if (inputs.size() != outputs.size() || inputs.empty()) {
     return VerifyResult::failure(0, "input/output size mismatch or empty instance");
   }
-  if (!is_directed(problem.topology()) && !problem.is_orientation_symmetric()) {
-    throw std::logic_error(
-        "verify_pairwise: undirected topology requires an orientation-symmetric edge "
-        "constraint");
-  }
+  require_symmetric_if_undirected(problem);
   const std::size_t n = inputs.size();
   const bool path = !is_cycle(problem.topology());
   for (std::size_t v = 0; v < n; ++v) {
     const bool ok = (path && v == 0) ? problem.node_first_ok(inputs[v], outputs[v])
                                      : problem.node_ok(inputs[v], outputs[v]);
     if (!ok) {
-      return VerifyResult::failure(v, node_fail(problem, inputs, outputs, v));
+      return VerifyResult::failure(v, node_fail(problem, inputs[v], outputs[v], v));
     }
   }
   if (path && !problem.last_ok(outputs[n - 1])) {
-    return VerifyResult::failure(n - 1, "last node output '" +
-                                            problem.outputs().name(outputs[n - 1]) +
-                                            "' not allowed at a path end");
+    return VerifyResult::failure(n - 1, last_fail(problem, outputs[n - 1]));
   }
   for (std::size_t v = 1; v < n; ++v) {
     if (!problem.edge_ok(outputs[v - 1], outputs[v])) {
-      return VerifyResult::failure(v, edge_fail(problem, outputs, v - 1, v));
+      return VerifyResult::failure(v, edge_fail(problem, outputs[v - 1], outputs[v],
+                                                v - 1, v));
     }
   }
   if (is_cycle(problem.topology())) {
     if (n == 1) {
       // Degenerate self-loop cycle: the wrap edge is (v, v).
       if (!problem.edge_ok(outputs[0], outputs[0])) {
-        return VerifyResult::failure(0, edge_fail(problem, outputs, 0, 0));
+        return VerifyResult::failure(0, edge_fail(problem, outputs[0], outputs[0], 0, 0));
       }
     } else if (!problem.edge_ok(outputs[n - 1], outputs[0])) {
-      return VerifyResult::failure(0, edge_fail(problem, outputs, n - 1, 0));
+      return VerifyResult::failure(0, edge_fail(problem, outputs[n - 1], outputs[0],
+                                                n - 1, 0));
     }
   }
   return VerifyResult::success();
+}
+
+PairwiseChunkVerifier::PairwiseChunkVerifier(const PairwiseProblem& problem,
+                                             std::size_t n, std::size_t begin,
+                                             std::size_t end)
+    : problem_(problem), n_(n), begin_(begin), end_(end) {
+  require_symmetric_if_undirected(problem);
+  if (begin >= end || end > n) {
+    throw std::logic_error("PairwiseChunkVerifier: empty or out-of-range chunk");
+  }
+}
+
+void PairwiseChunkVerifier::push(Label input, Label output) {
+  const std::size_t v = begin_ + count_;
+  assert(v < end_);
+  const bool path = !is_cycle(problem_.topology());
+  // Phase 0: per-node check. Node failures arrive in ascending order, so the
+  // first one seen is the chunk's phase-0 minimum.
+  if (!node_failed_) {
+    const bool ok = (path && v == 0) ? problem_.node_first_ok(input, output)
+                                     : problem_.node_ok(input, output);
+    if (!ok) {
+      node_failed_ = true;
+      PairwiseFailure f{0, v, node_fail(problem_, input, output, v)};
+      if (!best_ || f < *best_) best_ = std::move(f);
+    }
+  }
+  // Phase 1: path-end check, only when this chunk owns node n-1.
+  if (path && v == n_ - 1 && !problem_.last_ok(output)) {
+    PairwiseFailure f{1, v, last_fail(problem_, output)};
+    if (!best_ || f < *best_) best_ = std::move(f);
+  }
+  // Phase 2: the edge internal to the chunk arriving at v.
+  if (count_ > 0 && !edge_failed_ && !problem_.edge_ok(prev_output_, output)) {
+    edge_failed_ = true;
+    PairwiseFailure f{2, v, edge_fail(problem_, prev_output_, output, v - 1, v)};
+    if (!best_ || f < *best_) best_ = std::move(f);
+  }
+  if (count_ == 0) first_output_ = output;
+  prev_output_ = output;
+  ++count_;
+}
+
+ChunkVerdict PairwiseChunkVerifier::verdict() const {
+  assert(count_ == end_ - begin_);
+  return ChunkVerdict{begin_, end_, first_output_, prev_output_, best_};
+}
+
+VerifyResult finish_chunked_verify(const PairwiseProblem& problem,
+                                   const std::vector<ChunkVerdict>& verdicts) {
+  if (verdicts.empty() || verdicts.front().begin != 0) {
+    throw std::logic_error("finish_chunked_verify: chunks do not cover the instance");
+  }
+  std::optional<PairwiseFailure> best;
+  auto consider = [&best](PairwiseFailure f) {
+    if (!best || f < *best) best = std::move(f);
+  };
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    const ChunkVerdict& c = verdicts[i];
+    if (i > 0) {
+      const ChunkVerdict& prev = verdicts[i - 1];
+      if (c.begin != prev.end) {
+        throw std::logic_error("finish_chunked_verify: non-contiguous chunks");
+      }
+      // Phase 2 seam edge (prev's last node -> this chunk's first node).
+      if (!problem.edge_ok(prev.last_output, c.first_output)) {
+        consider({2, c.begin,
+                  edge_fail(problem, prev.last_output, c.first_output, c.begin - 1,
+                            c.begin)});
+      }
+    }
+    if (c.failure) consider(*c.failure);
+  }
+  const std::size_t n = verdicts.back().end;
+  if (is_cycle(problem.topology())) {
+    // Phase 3 wrap edge; for n == 1 the wrap degenerates to a self-loop.
+    const Label tail = verdicts.back().last_output;
+    const Label head = verdicts.front().first_output;
+    if (!problem.edge_ok(tail, head)) {
+      consider({3, 0, edge_fail(problem, tail, head, n == 1 ? 0 : n - 1, 0)});
+    }
+  }
+  if (!best) return VerifyResult::success();
+  return VerifyResult::failure(best->at, std::move(best->reason));
+}
+
+VerifyResult verify_pairwise_chunked(const PairwiseProblem& problem,
+                                     const Word& inputs, const Word& outputs,
+                                     std::size_t chunk_size) {
+  if (inputs.size() != outputs.size() || inputs.empty()) {
+    return VerifyResult::failure(0, "input/output size mismatch or empty instance");
+  }
+  require_symmetric_if_undirected(problem);
+  const std::size_t n = inputs.size();
+  const std::size_t step = std::max<std::size_t>(chunk_size, 1);
+  std::vector<ChunkVerdict> verdicts;
+  verdicts.reserve((n + step - 1) / step);
+  for (std::size_t begin = 0; begin < n; begin += step) {
+    const std::size_t end = std::min(n, begin + step);
+    PairwiseChunkVerifier chunk(problem, n, begin, end);
+    for (std::size_t v = begin; v < end; ++v) chunk.push(inputs[v], outputs[v]);
+    verdicts.push_back(chunk.verdict());
+  }
+  return finish_chunked_verify(problem, verdicts);
 }
 
 bool locally_consistent_at(const PairwiseProblem& problem, const Word& inputs,

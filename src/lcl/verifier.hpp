@@ -39,6 +39,88 @@ struct VerifyResult {
 VerifyResult verify_pairwise(const PairwiseProblem& problem, const Word& inputs,
                              const Word& outputs);
 
+/// A single verifier failure located in verify_pairwise's fixed phase order:
+///   phase 0  per-node (input, output) checks, nodes ascending
+///   phase 1  path-end check (last_ok), at node n-1
+///   phase 2  internal edge checks (u -> u+1), reported at node u+1 ascending
+///   phase 3  cycle wrap edge (n-1 -> 0, or the n == 1 self-loop), at node 0
+/// verify_pairwise reports the failure that is smallest under lexicographic
+/// (phase, at) order; the streaming verifier reproduces that exactly by
+/// tracking per-chunk minima and merging.
+struct PairwiseFailure {
+  int phase = 0;
+  std::size_t at = 0;
+  std::string reason;
+
+  friend bool operator<(const PairwiseFailure& a, const PairwiseFailure& b) {
+    return a.phase != b.phase ? a.phase < b.phase : a.at < b.at;
+  }
+};
+
+/// Everything the chunk-merge step needs from one verified chunk: its node
+/// range, the boundary outputs (for the seam edge to the neighbouring chunks
+/// and the cycle wrap edge), and the best (phase, at)-minimal failure the
+/// chunk saw internally, if any.
+struct ChunkVerdict {
+  std::size_t begin = 0;
+  std::size_t end = 0;  // exclusive
+  Label first_output = 0;
+  Label last_output = 0;
+  std::optional<PairwiseFailure> failure;
+};
+
+/// Streaming verifier for one contiguous chunk [begin, end) of an n-node
+/// instance. Feed (input, output) pairs for nodes begin, begin+1, ... in
+/// order via push(); the verifier holds O(1) state (previous output, first
+/// output, best failure) so huge runs never need the full output Word.
+/// Checks performed here: phase 0 node checks (with the first-of-path rule
+/// when begin == 0), the phase 1 path-end check when the chunk contains node
+/// n-1, and phase 2 edges *internal* to the chunk. Seam edges between chunks
+/// and the cycle wrap edge belong to finish_chunked_verify.
+///
+/// Throws std::logic_error for undirected topologies whose edge constraint
+/// is not orientation-symmetric, mirroring verify_pairwise.
+class PairwiseChunkVerifier {
+ public:
+  PairwiseChunkVerifier(const PairwiseProblem& problem, std::size_t n,
+                        std::size_t begin, std::size_t end);
+
+  /// Consume the next node's (input, output) pair. Must be called exactly
+  /// end - begin times.
+  void push(Label input, Label output);
+
+  /// The chunk summary; valid once all end - begin nodes were pushed.
+  ChunkVerdict verdict() const;
+
+ private:
+  const PairwiseProblem& problem_;
+  std::size_t n_;
+  std::size_t begin_;
+  std::size_t end_;
+  std::size_t count_ = 0;
+  Label first_output_ = 0;
+  Label prev_output_ = 0;
+  bool node_failed_ = false;  // phase 0 minima are found in push order,
+  bool edge_failed_ = false;  // so later checks of the same phase can stop
+  std::optional<PairwiseFailure> best_;
+};
+
+/// Merge per-chunk verdicts into the whole-instance verdict. `verdicts` must
+/// cover [0, n) contiguously in index order (chunk i+1 begins where chunk i
+/// ends). Adds the phase 2 seam edge between consecutive chunks and the
+/// phase 3 cycle wrap edge, then returns the (phase, at)-minimal failure —
+/// bit-identical to verify_pairwise on the concatenated outputs.
+VerifyResult finish_chunked_verify(const PairwiseProblem& problem,
+                                   const std::vector<ChunkVerdict>& verdicts);
+
+/// Convenience wrapper: run the streaming verifier over `outputs` in chunks
+/// of `chunk_size` nodes and merge. Agrees exactly with verify_pairwise
+/// (same verdict, same failed_at, same reason) for every chunk size >= 1;
+/// exists as the reference point for the agreement tests.
+VerifyResult verify_pairwise_chunked(const PairwiseProblem& problem,
+                                     const Word& inputs, const Word& outputs,
+                                     std::size_t chunk_size);
+
 /// Paper Section 4 "locally consistent at v" for the pairwise (r = 1) form:
 /// node v's own (input, output) pair is allowed, and — if v has a
 /// predecessor (v > 0, or any v on a cycle) — the incoming edge pair is

@@ -1,10 +1,32 @@
 #include "local/instance.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <stdexcept>
-#include <unordered_set>
 
 namespace lclpath {
+
+namespace {
+
+/// Bitmap scratch for validate()'s compact-ID fast path, reused across
+/// calls so repeated engine runs do not reallocate.
+thread_local std::vector<std::uint64_t> validate_scratch;
+
+[[noreturn]] void throw_duplicate(NodeId id) {
+  throw std::invalid_argument("Instance: duplicate node ID " + std::to_string(id));
+}
+
+std::uint64_t bit_reverse64(std::uint64_t x) {
+  x = ((x & 0x5555555555555555ull) << 1) | ((x >> 1) & 0x5555555555555555ull);
+  x = ((x & 0x3333333333333333ull) << 2) | ((x >> 2) & 0x3333333333333333ull);
+  x = ((x & 0x0f0f0f0f0f0f0f0full) << 4) | ((x >> 4) & 0x0f0f0f0f0f0f0f0full);
+  x = ((x & 0x00ff00ff00ff00ffull) << 8) | ((x >> 8) & 0x00ff00ff00ff00ffull);
+  x = ((x & 0x0000ffff0000ffffull) << 16) | ((x >> 16) & 0x0000ffff0000ffffull);
+  return (x << 32) | (x >> 32);
+}
+
+}  // namespace
 
 std::size_t Instance::succ(std::size_t v) const {
   assert(v < size());
@@ -25,12 +47,30 @@ void Instance::validate() const {
   if (inputs.size() != ids.size()) {
     throw std::invalid_argument("Instance: inputs/ids size mismatch");
   }
-  std::unordered_set<NodeId> seen;
+  const std::size_t n = ids.size();
+  // Compact-ID fast path: one pass marking a bitmap. Sequential and
+  // permutation IDs (every generator except the adversarial one) land
+  // here; the 4n bound keeps the scratch proportional to the instance.
+  const NodeId bound = static_cast<NodeId>(4) * static_cast<NodeId>(n);
+  validate_scratch.assign((static_cast<std::size_t>(bound) + 63) / 64, 0);
+  bool sparse = false;
   for (NodeId id : ids) {
-    if (!seen.insert(id).second) {
-      throw std::invalid_argument("Instance: duplicate node ID " + std::to_string(id));
+    if (id >= bound) {
+      sparse = true;
+      break;
     }
+    std::uint64_t& word = validate_scratch[static_cast<std::size_t>(id >> 6)];
+    const std::uint64_t bit = std::uint64_t{1} << (id & 63);
+    if (word & bit) throw_duplicate(id);
+    word |= bit;
   }
+  if (!sparse) return;
+  // Sparse IDs (adversarial bit-reversed assignments): sort a copy and
+  // look for an adjacent repeat.
+  std::vector<NodeId> sorted(ids);
+  std::sort(sorted.begin(), sorted.end());
+  const auto dup = std::adjacent_find(sorted.begin(), sorted.end());
+  if (dup != sorted.end()) throw_duplicate(*dup);
 }
 
 Instance make_instance(Topology topology, Word inputs) {
@@ -51,6 +91,27 @@ Instance random_instance(Topology topology, std::size_t n, std::size_t num_input
     instance.inputs.push_back(static_cast<Label>(rng.next_below(num_inputs)));
   }
   for (std::size_t id : rng.permutation(n)) instance.ids.push_back(id);
+  return instance;
+}
+
+std::vector<NodeId> adversarial_ids(std::size_t n, NodeId salt) {
+  std::vector<NodeId> ids;
+  ids.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    ids.push_back(bit_reverse64(static_cast<std::uint64_t>(v)) ^ salt);
+  }
+  return ids;
+}
+
+Instance adversarial_instance(Topology topology, std::size_t n, std::size_t num_inputs,
+                              Rng& rng) {
+  Instance instance;
+  instance.topology = topology;
+  instance.inputs.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    instance.inputs.push_back(static_cast<Label>(rng.next_below(num_inputs)));
+  }
+  instance.ids = adversarial_ids(n, static_cast<NodeId>(rng.next_u64()));
   return instance;
 }
 

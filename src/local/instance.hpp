@@ -32,7 +32,10 @@ struct Instance {
   std::size_t pred(std::size_t v) const;
 
   /// Throws std::invalid_argument when sizes mismatch, IDs collide, or the
-  /// instance is empty.
+  /// instance is empty. Single pass over a reusable bitmap scratch for
+  /// compact IDs (the sequential / permutation generators); falls back to
+  /// a sort for sparse assignments (e.g. adversarial bit-reversed IDs).
+  /// The engine calls this once per simulate() run, never per chunk.
   void validate() const;
 };
 
@@ -45,5 +48,24 @@ Instance random_instance(Topology topology, std::size_t n, std::size_t num_input
 
 /// Inputs = pattern repeated to length n (truncated); random IDs.
 Instance periodic_instance(Topology topology, std::size_t n, const Word& pattern, Rng& rng);
+
+/// Worst-case Cole–Vishkin ID assignment: ids[v] = bitreverse64(v) XOR salt.
+/// Consecutive nodes v, v+1 differ exactly in bits 63 - k for k = 0 ..
+/// trailing_ones(v), so the lowest differing bit consecutive IDs disagree
+/// on follows the ruler sequence *from the top of the word*: a CV halving
+/// step sees near-maximal colors (about 2*63) instead of the O(log n)
+/// colors sequential or permutation IDs give it. XOR-ing the salt
+/// preserves every pairwise difference, so the CV trajectory is unchanged
+/// while the raw ID values vary per instance. The map is a bijection on
+/// 64-bit words, so IDs stay globally unique (but sparse: validate() takes
+/// its sort path on these).
+std::vector<NodeId> adversarial_ids(std::size_t n, NodeId salt = 0);
+
+/// Uniform random inputs over an alphabet of the given size; IDs are an
+/// adversarial_ids assignment salted from the RNG. The worst-case
+/// counterpart of random_instance for benchmarking ID-sensitive
+/// (Cole–Vishkin-based) algorithms.
+Instance adversarial_instance(Topology topology, std::size_t n, std::size_t num_inputs,
+                              Rng& rng);
 
 }  // namespace lclpath

@@ -1,4 +1,4 @@
-// The LOCAL model simulator.
+// The LOCAL model simulator — chunked, thread-pooled, streaming.
 //
 // The paper's Section 2 observation: an algorithm with running time T(n)
 // is equivalent to a function from radius-T(n) neighborhoods to outputs.
@@ -6,6 +6,40 @@
 // IDs and boundary shape of its radius-T window — and must return an
 // output label. The simulator enforces locality by construction: a node's
 // output can only depend on what is in its view.
+//
+// Execution model (million-node engine). simulate() splits the path /
+// cycle into contiguous chunks of nodes and runs each chunk on the shared
+// ThreadPool. Workers never copy a halo: a chunk's node windows are read
+// straight from the instance arrays (the radius-r halo is the index range
+// [begin - r, end + r), wrapping on cycles), so chunking at any
+// granularity — including chunk_size < radius — is safe by construction.
+// Within a chunk the worker reuses one sliding-window View buffer:
+// advancing from node v to v+1 pops the front element, pushes the next
+// halo element, and shifts the center, so the hot loop performs zero
+// allocations. Undirected windows are re-canonicalized in place (reverse
+// if the reversed ID sequence is lexicographically smaller, run, reverse
+// back), which keeps the presentation bit-identical to extract_view.
+//
+// Verification is streaming: each chunk feeds its (input, output) pairs
+// into a PairwiseChunkVerifier as they are produced, and the per-chunk
+// verdicts are merged with the seam edges and the cycle wrap edge
+// (lcl/verifier.hpp) into the exact whole-word verify_pairwise verdict.
+// With SimulationOptions::keep_outputs = false the engine never
+// materializes the output Word at all — verification state per chunk is
+// O(1) — which is what makes 10^7–10^8-node runs affordable.
+//
+// Full-view regime. When the radius covers the whole instance (cycles:
+// 2r + 1 >= n; paths: r >= n - 1) and the algorithm declares (via
+// full_view_problem()) that it answers such views with solve_full_view,
+// the engine solves the canonical word once and reads every node's label
+// off the shared solution — O(n) instead of the O(n^2) of n per-node
+// re-solves. SimulationOptions::full_view_memo = false disables the
+// memoization and restores the honest per-node gather baseline.
+//
+// Bit-identity: for every thread count and chunk size, simulate() produces
+// the same outputs, the same verdict (including failed_at and reason), and
+// the same exceptions as simulate_reference(), the preserved serial loop.
+// The simulation_engine_test suite sweeps exactly that equivalence.
 //
 // Locality validation beyond construction: tests also run the
 // view-agreement property (two instances whose windows around v coincide
@@ -66,18 +100,86 @@ class LocalAlgorithm {
   virtual std::size_t radius(std::size_t n) const = 0;
   /// The output of a node given its radius(n) view.
   virtual Label run(const View& view) const = 0;
+
+  /// Non-null iff run() answers every *instance-covering* view (a full
+  /// cycle rotation, or a path window seeing both ends, on instances where
+  /// radius(n) covers everything) by solve_full_view against the returned
+  /// problem. Declaring this lets the engine memoize the canonical solve
+  /// once per run instead of re-solving the same n-sized word n times.
+  /// The default (nullptr) promises nothing and keeps per-node execution.
+  virtual const PairwiseProblem* full_view_problem() const { return nullptr; }
+
+  /// Batched span form (the chunk-sweep fast path). `window` is one
+  /// contiguous stretch of the instance — a chunk plus its radius(n) halo
+  /// on each side, clipped at path ends (sees_* flags set accordingly) and
+  /// never longer than n on cycles — presented in storage order, NOT
+  /// per-node canonicalized. Implementations must write, for each window
+  /// position p in [begin, end), the label of the node sitting at p into
+  /// out[p - begin], and must return false (without touching `out`) when
+  /// they have no batched implementation, leaving the engine on its
+  /// node-by-node path.
+  ///
+  /// Contract: out[p - begin] must equal run(extract_view(...)) of that
+  /// node exactly — amortizing layout work across the span (and being
+  /// presentation-equivariant on undirected topologies) must not change a
+  /// single label. The engine guarantees begin >= radius(n) from the left
+  /// window edge and end <= size() - radius(n) from the right, except
+  /// where the window is clipped by a real path end. Support must be
+  /// uniform: an implementation may not return true for some windows of an
+  /// instance and false for others.
+  virtual bool run_span(const View& window, std::size_t begin, std::size_t end,
+                        Label* out) const {
+    (void)window;
+    (void)begin;
+    (void)end;
+    (void)out;
+    return false;
+  }
+};
+
+/// Knobs for the chunked engine. The defaults reproduce the historical
+/// simulate() behavior (outputs materialized, memoized full-view regime)
+/// while auto-scaling worker count with instance size.
+struct SimulationOptions {
+  /// Worker threads. 0 = auto: about one worker per 4096 nodes, capped at
+  /// hardware concurrency, so small instances run inline and serial.
+  std::size_t threads = 0;
+  /// Nodes per chunk. 0 = auto (about four chunks per worker). Any value
+  /// >= 1 is legal, including chunk_size < radius and chunk_size >= n.
+  std::size_t chunk_size = 0;
+  /// When false, the engine streams outputs into the verifier and never
+  /// materializes the output Word (SimulationResult::outputs stays empty).
+  bool keep_outputs = true;
+  /// When false, full-view-regime algorithms run node-by-node even if they
+  /// declare full_view_problem() — the honest Theta(n^2) gather baseline.
+  bool full_view_memo = true;
 };
 
 /// Result of simulating an algorithm over an instance.
 struct SimulationResult {
-  Word outputs;
+  Word outputs;            ///< empty when SimulationOptions::keep_outputs is false
   std::size_t radius = 0;  ///< rounds used
   VerifyResult verdict;    ///< verification against the problem
+  std::size_t threads_used = 1;  ///< pool workers the engine ran with
+  std::size_t chunks = 1;        ///< chunks the instance was split into
 };
 
-/// Runs the algorithm on every node and verifies the global output.
+/// Runs the algorithm on every node and verifies the global output with
+/// the chunked streaming engine described above.
+SimulationResult simulate(const LocalAlgorithm& algorithm, const PairwiseProblem& problem,
+                          const Instance& instance, const SimulationOptions& options);
+
+/// Default-options overload (kept so historical call sites read unchanged).
 SimulationResult simulate(const LocalAlgorithm& algorithm, const PairwiseProblem& problem,
                           const Instance& instance);
+
+/// The preserved serial reference: per-node extract_view + run, then one
+/// whole-word verify_pairwise. This is the differential oracle the chunked
+/// engine is tested bit-identical against; it is also the only path that
+/// exercises extract_view itself for every node.
+SimulationResult simulate_reference(const LocalAlgorithm& algorithm,
+                                    const PairwiseProblem& problem,
+                                    const Instance& instance);
 
 /// Canonical whole-instance solve for a view that covers everything (a
 /// full cycle, or a path window seeing both ends): every node derives the
@@ -89,13 +191,16 @@ Label solve_full_view(const PairwiseProblem& problem, const View& view);
 
 /// The Theta(n) baseline: gather everything, solve by DP, output your own
 /// label. This is the paper's "any solvable problem is O(n)" algorithm
-/// and the ground-truth oracle for the synthesized algorithms.
+/// and the ground-truth oracle for the synthesized algorithms. Declares
+/// full_view_problem(), so the engine's memoized path makes the baseline
+/// itself O(n) per instance instead of O(n^2).
 class GatherAllAlgorithm final : public LocalAlgorithm {
  public:
   explicit GatherAllAlgorithm(const PairwiseProblem& problem) : problem_(&problem) {}
   std::string name() const override { return "gather-all"; }
   std::size_t radius(std::size_t n) const override { return n; }
   Label run(const View& view) const override;
+  const PairwiseProblem* full_view_problem() const override { return problem_; }
 
  private:
   const PairwiseProblem* problem_;

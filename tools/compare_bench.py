@@ -130,6 +130,37 @@ def check_synth_rows(node, path, report):
             check_synth_rows(value, f"{path}[{tag}]", report)
 
 
+def check_simulation_rows(node, path, report):
+    """Absolute tripwires on the fresh simulation-engine rows.
+
+    Machine-speed differences never excuse these: an invalid verdict is a
+    correctness bug, a no-materialize run whose RSS growth rivals the
+    output Word it promised not to allocate defeats the streaming
+    verifier, and a memoized gather losing to the honest Theta(n^2)
+    baseline means the memo regressed to re-solving per node. The
+    hardware-gated parallel-speedup tripwire lives in the bench binary's
+    --perf-smoke mode instead (this script cannot know the runner's core
+    count from the JSON alone)."""
+    if isinstance(node, dict):
+        if "engine_s" in node or "stream_s" in node or "memo_s" in node:
+            if node.get("valid") is not True:
+                report.drift(path, "simulation row is not valid")
+        if "rss_delta_mb" in node and "outputs_mb" in node:
+            if node["rss_delta_mb"] >= node["outputs_mb"] / 2:
+                report.drift(path, f"rss_delta_mb {node['rss_delta_mb']} not well "
+                                   f"below outputs_mb {node['outputs_mb']}")
+        if "memo_s" in node and "honest_s" in node:
+            if node["memo_s"] > node["honest_s"]:
+                report.drift(path, f"memo_s {node['memo_s']} > honest_s "
+                                   f"{node['honest_s']} (memoized gather lost)")
+        for key, value in node.items():
+            check_simulation_rows(value, f"{path}.{key}" if path else key, report)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            tag = value.get("problem", i) if isinstance(value, dict) else i
+            check_simulation_rows(value, f"{path}[{tag}]", report)
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("baseline")
@@ -148,6 +179,7 @@ def main():
     report = Report(args.max_slowdown)
     walk(baseline, fresh, "", report)
     check_synth_rows(fresh, "", report)
+    check_simulation_rows(fresh, "", report)
 
     print(f"compare_bench: {args.fresh} vs baseline {args.baseline}")
     for line in report.lines:

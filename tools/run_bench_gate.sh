@@ -6,7 +6,7 @@
 # instead of carrying one copy-pasted step block per bench.
 #
 # Usage: tools/run_bench_gate.sh FAMILY [BUILD_DIR]
-#   FAMILY    linear_gap | monoid | synthesized | hardness
+#   FAMILY    linear_gap | monoid | synthesized | hardness | simulation
 #   BUILD_DIR cmake build directory holding the bench binaries (default:
 #             build)
 #
@@ -52,6 +52,15 @@ case "$family" in
     run "$build/bench_synthesized" --emit-json=BENCH_synthesized.fresh.json \
       --perf-smoke=60 --benchmark_list_tests=true
     ;;
+  simulation)
+    # --perf-smoke runs the engine tripwires: parallel speedup where the
+    # hardware has the cores (4x at >= 8, any win at >= 2), the
+    # no-materialize RSS ceiling on the 10^7-node streaming row, and the
+    # memoized-gather / synthesized wins over the honest Theta(n^2)
+    # baseline.
+    run "$build/bench_simulation" --emit-json=BENCH_simulation.fresh.json \
+      --perf-smoke=90 --benchmark_list_tests=true
+    ;;
   hardness)
     # Five binaries, one tracked JSON: each emits its own top-level
     # section ({"encoding"}, {"error_chains"}, {"theorem4"}, {"theorem5"},
@@ -83,7 +92,7 @@ PYEOF
     ;;
   *)
     echo "unknown bench family: $family (expected linear_gap | monoid |" \
-      "synthesized | hardness)" >&2
+      "synthesized | hardness | simulation)" >&2
     exit 2
     ;;
 esac
