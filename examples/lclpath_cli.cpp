@@ -1,15 +1,32 @@
 // lclpath_cli — classify an LCL problem description from a file or stdin.
 //
 //   $ ./examples/lclpath_cli problem.lcl
+//   $ ./examples/lclpath_cli classify [--deadline-ms N] problem.lcl
 //   $ ./examples/lclpath_cli --demo            # classify the catalog
 //   $ cat problem.lcl | ./examples/lclpath_cli -
-//   $ ./examples/lclpath_cli classify-batch [--threads N] many.lcl ...
+//   $ ./examples/lclpath_cli classify-batch [--threads N] [--deadline-ms N] \
+//         [--batch-deadline-ms N] many.lcl ...
+//   $ ./examples/lclpath_cli deadline-suite [--deadline-ms N]
 //
 // Output: the complexity class (Theorems 8+9), the certificate summary,
 // and — when the problem is solvable — a sample run of the synthesized
 // algorithm on a random instance. classify-batch reads files holding any
 // number of concatenated problem blocks (each ending in `end`; `-` =
 // stdin) and classifies them all on a thread pool.
+//
+// Deadlines (core/cancel.hpp) are cooperative: --deadline-ms bounds each
+// problem, --batch-deadline-ms bounds the whole batch; a tripped deadline
+// is a structured per-problem kTimeout outcome, not a crash.
+//
+// Exit codes: 0 = all classified; 1 = some problem failed (budget,
+// malformed, internal); 2 = usage or input/infrastructure error;
+// 3 = at least one problem timed out or was cancelled (3 wins over 1).
+//
+// deadline-suite is the CI robustness gate: it classifies the Section 3.7
+// lift family plus a generator-sampled hostile set under a per-problem
+// deadline on both linear-gap engines, and fails when any problem escapes
+// the deadline by more than 2x (a missing checkpoint in some hot loop) or
+// crashes outright.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -20,8 +37,11 @@
 #include <string>
 #include <vector>
 
+#include "core/cancel.hpp"
+#include "core/rng.hpp"
 #include "decide/batch.hpp"
 #include "decide/classifier.hpp"
+#include "hardness/study.hpp"
 #include "lcl/serialize.hpp"
 
 namespace {
@@ -38,6 +58,19 @@ std::string read_source(const char* path) {
   return buffer.str();
 }
 
+/// Parses a non-negative integer flag value; returns false (with a
+/// message) on junk.
+bool parse_count(const char* flag, const char* text, std::size_t* out) {
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || value < 0) {
+    std::fprintf(stderr, "%s: '%s' is not a non-negative count\n", flag, text);
+    return false;
+  }
+  *out = static_cast<std::size_t>(value);
+  return true;
+}
+
 int run_classify_batch(int argc, char** argv) {
   using namespace lclpath;
   // Problems sharing a transition-system skeleton (renamed copies, sweep
@@ -48,17 +81,17 @@ int run_classify_batch(int argc, char** argv) {
   std::vector<const char*> paths;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "--threads needs a count\n");
-        return 2;
-      }
-      char* end = nullptr;
-      const long count = std::strtol(argv[++i], &end, 10);
-      if (end == argv[i] || *end != '\0' || count < 0) {
-        std::fprintf(stderr, "--threads: '%s' is not a thread count\n", argv[i]);
-        return 2;
-      }
-      options.num_threads = static_cast<std::size_t>(count);
+      std::size_t count = 0;
+      if (i + 1 >= argc || !parse_count("--threads", argv[++i], &count)) return 2;
+      options.num_threads = count;
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+      std::size_t ms = 0;
+      if (i + 1 >= argc || !parse_count("--deadline-ms", argv[++i], &ms)) return 2;
+      options.problem_deadline_ms = ms;
+    } else if (std::strcmp(argv[i], "--batch-deadline-ms") == 0) {
+      std::size_t ms = 0;
+      if (i + 1 >= argc || !parse_count("--batch-deadline-ms", argv[++i], &ms)) return 2;
+      options.batch_deadline_ms = ms;
     } else {
       paths.push_back(argv[i]);
     }
@@ -94,6 +127,7 @@ int run_classify_batch(int argc, char** argv) {
       std::chrono::steady_clock::now() - start);
 
   int failures = 0;
+  bool any_timeout = false;
   for (std::size_t i = 0; i < problems.size(); ++i) {
     if (batch[i].ok()) {
       // Deduplicated slots share the representative's result; keep the
@@ -108,8 +142,13 @@ int run_classify_batch(int argc, char** argv) {
       }
     } else {
       ++failures;
-      std::printf("%s: ERROR: %s\n", problems[i].name().c_str(),
-                  batch[i].error().c_str());
+      const BatchErrorKind kind =
+          batch[i].error_kind().value_or(BatchErrorKind::kInternal);
+      if (kind == BatchErrorKind::kTimeout || kind == BatchErrorKind::kCancelled) {
+        any_timeout = true;
+      }
+      std::printf("%s: ERROR[%s]: %s\n", problems[i].name().c_str(),
+                  to_string(kind).c_str(), batch[i].error().c_str());
     }
   }
   std::printf("classified %zu problem(s) in %.3fs (%zu failed)", problems.size(),
@@ -119,13 +158,17 @@ int run_classify_batch(int argc, char** argv) {
                 static_cast<unsigned long long>(monoids.hits()));
   }
   std::printf("\n");
+  if (any_timeout) return 3;
   return failures == 0 ? 0 : 1;
 }
 
 int classify_and_report(const lclpath::PairwiseProblem& problem, bool run_sample,
-                        const lclpath::SimulationOptions& sim_options = {}) {
+                        const lclpath::SimulationOptions& sim_options = {},
+                        const lclpath::ExecutionBudget* budget = nullptr) {
   using namespace lclpath;
-  const ClassifiedProblem result = classify(problem);
+  ClassifyOptions options;
+  options.budget = budget;
+  const ClassifiedProblem result = classify(problem, options);
   std::printf("%s\n", result.summary().c_str());
   if (result.complexity() == ComplexityClass::kUnsolvable) {
     std::printf("  witness instance with no valid labeling: %s\n",
@@ -146,12 +189,113 @@ int classify_and_report(const lclpath::PairwiseProblem& problem, bool run_sample
   const std::size_t n =
       std::min<std::size_t>(4096, 2 * algorithm->radius(1 << 20) + 33);
   Instance instance = random_instance(problem.topology(), n, problem.num_inputs(), rng);
-  const SimulationResult sim = simulate(*algorithm, problem, instance, sim_options);
+  SimulationOptions sim = sim_options;
+  sim.budget = budget;
+  const SimulationResult result_sim = simulate(*algorithm, problem, instance, sim);
   std::printf("  sample run: n = %zu, radius = %zu, threads = %zu, chunks = %zu, "
               "output %s\n",
-              n, sim.radius, sim.threads_used, sim.chunks,
-              sim.verdict.ok ? "valid" : ("INVALID (" + sim.verdict.reason + ")").c_str());
-  return sim.verdict.ok ? 0 : 1;
+              n, result_sim.radius, result_sim.threads_used, result_sim.chunks,
+              result_sim.verdict.ok
+                  ? "valid"
+                  : ("INVALID (" + result_sim.verdict.reason + ")").c_str());
+  return result_sim.verdict.ok ? 0 : 1;
+}
+
+/// Random pairwise problem in the generator-sampled hostile set (the same
+/// shape bench_monoid scales with; fixed seed per size so CI runs are
+/// reproducible).
+lclpath::PairwiseProblem hostile_problem(std::size_t alpha, std::size_t beta,
+                                         std::uint64_t seed,
+                                         lclpath::Topology topology) {
+  using namespace lclpath;
+  Rng rng(seed);
+  Alphabet in, out;
+  for (std::size_t i = 0; i < alpha; ++i) in.add("i" + std::to_string(i));
+  for (std::size_t o = 0; o < beta; ++o) out.add("o" + std::to_string(o));
+  PairwiseProblem p("hostile-a" + std::to_string(alpha) + "-b" + std::to_string(beta) +
+                        "-s" + std::to_string(seed),
+                    in, out, topology);
+  for (Label i = 0; i < alpha; ++i)
+    for (Label o = 0; o < beta; ++o)
+      if (rng.next_bool(3, 4)) p.allow_node(i, o);
+  for (Label a = 0; a < beta; ++a)
+    for (Label b = 0; b < beta; ++b)
+      if (rng.next_bool(3, 4)) p.allow_edge(a, b);
+  return p;
+}
+
+// The CI robustness gate: every problem must either classify, fail with a
+// structured budget error, or trip its deadline — within 2x the deadline,
+// on both engines. Escaping by more than 2x means some hot loop is missing
+// a budget checkpoint; any other exception is a crash. Exit 0 = gate holds.
+int run_deadline_suite(int argc, char** argv) {
+  using namespace lclpath;
+  std::size_t deadline_ms = 100;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+      if (i + 1 >= argc || !parse_count("--deadline-ms", argv[++i], &deadline_ms)) {
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "deadline-suite: unknown argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (deadline_ms == 0) {
+    std::fprintf(stderr, "deadline-suite: --deadline-ms must be positive\n");
+    return 2;
+  }
+
+  std::vector<PairwiseProblem> problems = hardness::lift_workload();
+  const std::size_t grid[][2] = {{2, 4}, {3, 3}, {3, 4}, {2, 5}, {4, 4}, {2, 6}};
+  for (const auto& [alpha, beta] : grid) {
+    problems.push_back(hostile_problem(alpha, beta, alpha * 100 + beta,
+                                       Topology::kDirectedCycle));
+    problems.push_back(hostile_problem(alpha, beta, alpha * 1000 + beta,
+                                       Topology::kDirectedPath));
+  }
+
+  std::size_t escapes = 0;
+  std::size_t crashes = 0;
+  std::size_t timeouts = 0;
+  for (const LinearGapEngine engine :
+       {LinearGapEngine::kFactorized, LinearGapEngine::kPairwise}) {
+    const char* engine_name =
+        engine == LinearGapEngine::kFactorized ? "factorized" : "pairwise";
+    for (const PairwiseProblem& problem : problems) {
+      ExecutionBudget budget;
+      budget.set_timeout(std::chrono::milliseconds(deadline_ms));
+      ClassifyOptions options;
+      options.budget = &budget;
+      options.linear_engine = engine;
+      const auto start = std::chrono::steady_clock::now();
+      std::string outcome = "ok";
+      try {
+        const ClassifiedProblem result = classify(problem, options);
+        outcome = to_string(result.complexity());
+      } catch (const CancelledError&) {
+        outcome = "timeout";
+        ++timeouts;
+      } catch (const MonoidBudgetError&) {
+        outcome = "budget";
+      } catch (const std::exception& e) {
+        outcome = std::string("CRASH: ") + e.what();
+        ++crashes;
+      }
+      const double elapsed_ms =
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                    start)
+              .count();
+      const bool escaped = elapsed_ms > 2.0 * static_cast<double>(deadline_ms);
+      if (escaped) ++escapes;
+      std::printf("%-10s %-44s %10.2fms  %s%s\n", engine_name, problem.name().c_str(),
+                  elapsed_ms, outcome.c_str(), escaped ? "  [ESCAPED DEADLINE]" : "");
+    }
+  }
+  std::printf("deadline-suite: %zu problem(s) x 2 engines, deadline %zums: "
+              "%zu timeout(s), %zu escape(s), %zu crash(es)\n",
+              problems.size(), deadline_ms, timeouts, escapes, crashes);
+  return (escapes == 0 && crashes == 0) ? 0 : 1;
 }
 
 }  // namespace
@@ -161,6 +305,9 @@ int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "classify-batch") == 0) {
     return run_classify_batch(argc, argv);
   }
+  if (argc >= 2 && std::strcmp(argv[1], "deadline-suite") == 0) {
+    return run_deadline_suite(argc, argv);
+  }
   if (argc >= 2 && std::strcmp(argv[1], "--demo") == 0) {
     for (const auto& entry : catalog::validation_catalog()) {
       std::printf("-- %s\n", entry.note.c_str());
@@ -168,24 +315,24 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
-  // Single-problem mode: [--threads N] steers the sample run's chunked
-  // simulation engine (0 = serial; classify itself stays single-threaded).
+  // Single-problem mode (optionally spelled `classify`): [--threads N]
+  // steers the sample run's chunked simulation engine (0 = serial;
+  // classify itself stays single-threaded); [--deadline-ms N] bounds the
+  // whole classification + sample run with a cooperative deadline.
+  const int first_arg = (argc >= 2 && std::strcmp(argv[1], "classify") == 0) ? 2 : 1;
   SimulationOptions sim_options;
+  std::size_t deadline_ms = 0;
   const char* path = nullptr;
-  bool usage_error = argc < 2;
-  for (int i = 1; i < argc && !usage_error; ++i) {
+  bool usage_error = argc < first_arg + 1;
+  for (int i = first_arg; i < argc && !usage_error; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "--threads needs a count\n");
+      std::size_t count = 0;
+      if (i + 1 >= argc || !parse_count("--threads", argv[++i], &count)) return 2;
+      sim_options.threads = count;
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+      if (i + 1 >= argc || !parse_count("--deadline-ms", argv[++i], &deadline_ms)) {
         return 2;
       }
-      char* end = nullptr;
-      const long count = std::strtol(argv[++i], &end, 10);
-      if (end == argv[i] || *end != '\0' || count < 0) {
-        std::fprintf(stderr, "--threads: '%s' is not a thread count\n", argv[i]);
-        return 2;
-      }
-      sim_options.threads = static_cast<std::size_t>(count);
     } else if (path == nullptr) {
       path = argv[i];
     } else {
@@ -194,16 +341,31 @@ int main(int argc, char** argv) {
   }
   if (usage_error || path == nullptr) {
     std::fprintf(stderr,
-                 "usage: %s [--threads N] <problem.lcl | - | --demo>\n"
-                 "       %s classify-batch [--threads N] [file.lcl ... | -]\n"
+                 "usage: %s [classify] [--threads N] [--deadline-ms N] "
+                 "<problem.lcl | - | --demo>\n"
+                 "       %s classify-batch [--threads N] [--deadline-ms N] "
+                 "[--batch-deadline-ms N] [file.lcl ... | -]\n"
+                 "       %s deadline-suite [--deadline-ms N]\n"
                  "File format: see lcl/serialize.hpp (lcl/topology/inputs/outputs/"
-                 "node/edge/first/last/end).\n",
-                 argv[0], argv[0]);
+                 "node/edge/first/last/end).\n"
+                 "Exit codes: 0 ok, 1 failed, 2 usage/input, 3 timeout/cancelled.\n",
+                 argv[0], argv[0], argv[0]);
     return 2;
   }
   try {
     const PairwiseProblem problem = parse_problem(read_source(path));
-    return classify_and_report(problem, true, sim_options);
+    ExecutionBudget budget;
+    const ExecutionBudget* budget_ptr = nullptr;
+    if (deadline_ms > 0) {
+      budget.set_timeout(std::chrono::milliseconds(deadline_ms));
+      budget_ptr = &budget;
+    }
+    return classify_and_report(problem, true, sim_options, budget_ptr);
+  } catch (const CancelledError& e) {
+    std::fprintf(stderr, "%s: %s\n",
+                 e.reason() == CancelReason::kDeadline ? "timeout" : "cancelled",
+                 e.what());
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

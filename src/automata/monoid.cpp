@@ -38,9 +38,7 @@ bool same_data_reversed(const MonoidElement& candidate, const MonoidElement& e) 
 }  // namespace
 
 void throw_monoid_budget_overflow(std::size_t max_elements) {
-  throw std::runtime_error(
-      "Monoid::enumerate: reachable type space exceeds the configured budget (" +
-      std::to_string(max_elements) + " elements)");
+  throw MonoidBudgetError(max_elements);
 }
 
 bool MonoidElement::same_data(const MonoidElement& other) const {
@@ -55,11 +53,18 @@ std::size_t MonoidElement::data_hash() const {
                         anchored_rev.hash(), pvec.hash(), pvec_rev.hash());
 }
 
-Monoid Monoid::enumerate(const TransitionSystem& ts, std::size_t max_elements) {
+Monoid Monoid::enumerate(const TransitionSystem& ts, std::size_t max_elements,
+                         const ExecutionBudget* budget) {
   Monoid monoid;
   monoid.ts_ = ts;
   const std::size_t num_inputs = ts.num_inputs();
   const std::size_t beta = ts.num_outputs();
+
+  // Per-element storage charged against a memory-limited budget: four
+  // beta x beta bit matrices, two beta bit vectors, bookkeeping.
+  const std::size_t words_per_row = (beta + 63) / 64;
+  const std::size_t element_bytes = 4 * beta * words_per_row * 8 +
+                                    2 * words_per_row * 8 + sizeof(MonoidElement);
 
   // Reversed-data hash of each element (combined from the same component
   // hashes as the forward hash, at intern time); consumed by the reversal
@@ -100,6 +105,7 @@ Monoid Monoid::enumerate(const TransitionSystem& ts, std::size_t max_elements) {
     if (monoid.elements_.size() > max_elements) {
       throw_monoid_budget_overflow(max_elements);
     }
+    budget_charge_memory(budget, element_bytes);
     return {index, true};
   };
 
@@ -139,6 +145,7 @@ Monoid Monoid::enumerate(const TransitionSystem& ts, std::size_t max_elements) {
   monoid.extend_table_.reserve(monoid.elements_.size() * num_inputs);
   for (std::size_t index = 0; index < monoid.elements_.size(); ++index) {
     for (Label sigma = 0; sigma < num_inputs; ++sigma) {
+      budget_checkpoint(budget);
       // Reads of src complete before intern() may grow elements_.
       const MonoidElement& src = monoid.elements_[index];
       src.fwd.multiply_into(ts.step(sigma), probe.fwd);
@@ -413,6 +420,18 @@ std::shared_ptr<const Monoid> MonoidCache::insert(std::uint64_t hash, std::strin
   }
   auto it = entries_.emplace(hash, std::make_pair(std::move(key), std::move(monoid)));
   return it->second.second;
+}
+
+bool MonoidCache::erase(std::uint64_t hash, const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [begin, end] = entries_.equal_range(hash);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second.first == key) {
+      entries_.erase(it);
+      return true;
+    }
+  }
+  return false;
 }
 
 std::size_t MonoidCache::size() const {

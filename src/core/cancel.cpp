@@ -1,0 +1,39 @@
+#include "core/cancel.hpp"
+
+namespace lclpath {
+
+std::string to_string(CancelReason reason) {
+  switch (reason) {
+    case CancelReason::kDeadline: return "deadline";
+    case CancelReason::kCancelled: return "cancelled";
+    case CancelReason::kMemory: return "memory";
+  }
+  return "unknown";
+}
+
+void ExecutionBudget::check() const {
+  if (cancel_.load(std::memory_order_relaxed)) {
+    throw CancelledError(CancelReason::kCancelled, "execution cancelled");
+  }
+  if (has_deadline_ && Clock::now() >= deadline_) {
+    throw CancelledError(CancelReason::kDeadline, "execution deadline exceeded");
+  }
+  if (memory_limit_ != 0 &&
+      memory_charged_.load(std::memory_order_relaxed) > memory_limit_) {
+    throw CancelledError(CancelReason::kMemory,
+                         "execution memory budget exceeded");
+  }
+  if (parent_ != nullptr) parent_->check();
+}
+
+void ExecutionBudget::charge_memory(std::size_t bytes) const {
+  const std::size_t total =
+      memory_charged_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (memory_limit_ != 0 && total > memory_limit_) {
+    throw CancelledError(CancelReason::kMemory,
+                         "execution memory budget exceeded");
+  }
+  if (parent_ != nullptr) parent_->charge_memory(bytes);
+}
+
+}  // namespace lclpath

@@ -1,0 +1,55 @@
+#include "core/fault_injection.hpp"
+
+#ifdef LCLPATH_FAULT_INJECTION
+
+#include <atomic>
+#include <new>
+
+#include "core/cancel.hpp"
+
+namespace lclpath::fault {
+namespace {
+
+// All atomics: the sweep tests arm from the main thread and run workloads
+// on pool workers, and the concurrent-cancellation test hits checkpoints
+// from several threads at once.
+std::atomic<std::uint64_t> counter{0};
+std::atomic<std::uint64_t> fire_at{0};
+std::atomic<Kind> armed_kind{Kind::kNone};
+std::atomic<bool> has_fired{false};
+
+}  // namespace
+
+void arm(Kind kind, std::uint64_t at) {
+  armed_kind.store(Kind::kNone, std::memory_order_relaxed);
+  counter.store(0, std::memory_order_relaxed);
+  fire_at.store(at, std::memory_order_relaxed);
+  has_fired.store(false, std::memory_order_relaxed);
+  armed_kind.store(kind, std::memory_order_release);
+}
+
+void disarm() { armed_kind.store(Kind::kNone, std::memory_order_relaxed); }
+
+std::uint64_t checkpoints() { return counter.load(std::memory_order_relaxed); }
+
+bool fired() { return has_fired.load(std::memory_order_relaxed); }
+
+void on_checkpoint() {
+  const Kind kind = armed_kind.load(std::memory_order_acquire);
+  if (kind == Kind::kNone) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::uint64_t index = counter.fetch_add(1, std::memory_order_relaxed);
+  if (index != fire_at.load(std::memory_order_relaxed)) return;
+  // The fetch_add hands each concurrent checkpoint a unique index, so
+  // exactly one thread reaches this point per arm().
+  has_fired.store(true, std::memory_order_relaxed);
+  if (kind == Kind::kBadAlloc) throw std::bad_alloc();
+  throw CancelledError(CancelReason::kCancelled,
+                       "fault injection: scripted cancellation");
+}
+
+}  // namespace lclpath::fault
+
+#endif  // LCLPATH_FAULT_INJECTION

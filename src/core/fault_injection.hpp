@@ -1,0 +1,68 @@
+// Deterministic fault injection at budget checkpoints.
+//
+// Compiled in only under the LCLPATH_FAULT_INJECTION CMake option (which
+// defines the macro PUBLICly on the library). When armed, the harness
+// counts every ExecutionBudget::checkpoint() call process-wide — before
+// the amortization stride, so indices are dense — and throws a scripted
+// failure at exactly the k-th one:
+//
+//   fault::arm(fault::Kind::kCancel, k);    // CancelledError{kCancelled}
+//   fault::arm(fault::Kind::kBadAlloc, k);  // std::bad_alloc
+//
+// The sweep tests iterate k over a clean run's checkpoint count to prove
+// every exit path unwinds cleanly and leaves both caches consistent. All
+// state is atomic, so arming from a test thread while pool workers hit
+// checkpoints is TSan-clean; exactly one checkpoint fires per arm()
+// (compare_exchange claims the index).
+//
+// Without the option this header still compiles: arm()/disarm() are
+// no-ops and checkpoints pay nothing.
+#pragma once
+
+#include <cstdint>
+
+namespace lclpath::fault {
+
+enum class Kind : std::uint8_t {
+  kNone,      ///< disarmed
+  kCancel,    ///< throw CancelledError{kCancelled} at the armed checkpoint
+  kBadAlloc,  ///< throw std::bad_alloc at the armed checkpoint
+};
+
+#ifdef LCLPATH_FAULT_INJECTION
+
+/// Is the harness compiled into this build?
+constexpr bool compiled_in() { return true; }
+
+/// Arms the harness: the `at`-th checkpoint() after this call (0-based)
+/// throws per `kind`. Resets the checkpoint counter. Not meant to race
+/// with in-flight checkpoints — arm between runs.
+void arm(Kind kind, std::uint64_t at);
+
+/// Disarms without resetting the counter (reads of checkpoints() stay
+/// meaningful for sizing the next sweep).
+void disarm();
+
+/// Checkpoints observed since the last arm()/reset. Use a clean armed-
+/// at-infinity run to measure a workload's checkpoint count.
+std::uint64_t checkpoints();
+
+/// True iff the armed fault has fired since arm().
+bool fired();
+
+/// Called by ExecutionBudget::checkpoint(); throws when armed and the
+/// counter hits the armed index.
+void on_checkpoint();
+
+#else
+
+constexpr bool compiled_in() { return false; }
+inline void arm(Kind, std::uint64_t) {}
+inline void disarm() {}
+inline std::uint64_t checkpoints() { return 0; }
+inline bool fired() { return false; }
+inline void on_checkpoint() {}
+
+#endif
+
+}  // namespace lclpath::fault

@@ -29,10 +29,15 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  // Deliberately no queue_.clear(): workers drain the FIFO to empty before
+  // exiting (see worker_loop's stop condition), so every future obtained
+  // from submit() resolves — with a value or an exception, never a
+  // broken_promise. Dropping the queue here used to lose tasks enqueued
+  // after an earlier task threw, deadlocking callers blocked on their
+  // futures' results.
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
-    queue_.clear();
   }
   wake_.notify_all();
   for (std::thread& worker : workers_) worker.join();

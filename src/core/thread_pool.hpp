@@ -25,9 +25,14 @@ class ThreadPool {
   /// (at least 1).
   explicit ThreadPool(std::size_t num_threads = 0);
 
-  /// Drains nothing: pending tasks that have not started are discarded, but
-  /// running tasks finish before the workers join. Prefer waiting on the
-  /// futures of every submitted task before destruction.
+  /// Drains everything: shutdown rejects new submissions, but the workers
+  /// run every task already in the FIFO — in submission order relative to
+  /// each worker's pulls — before joining. Every future obtained from
+  /// submit() therefore resolves (value or exception); none is abandoned
+  /// as a broken promise, even when an earlier task threw. Destruction
+  /// blocks until the queue is empty, so cancel long-running tasks (e.g.
+  /// via an ExecutionBudget) before dropping the pool if prompt shutdown
+  /// matters.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

@@ -50,12 +50,19 @@ ClassifiedProblem classify(const PairwiseProblem& problem, const ClassifyOptions
         "classify: undirected topologies require an orientation-symmetric edge "
         "constraint (see Section 3.7 for the lift from directed problems)");
   }
+  budget_check(options.budget);
   ClassifiedProblem result;
   result.problem_ = std::make_unique<PairwiseProblem>(problem);
   const TransitionSystem transitions = TransitionSystem::build(*result.problem_);
+  // Tracks whether THIS call published the monoid into the shared cache,
+  // so a later cancellation can de-publish it (abandoned problems must
+  // leave no cache trace).
+  bool published_monoid = false;
+  std::string skeleton_key;
+  std::uint64_t skeleton_hash = 0;
   if (options.monoid_cache != nullptr) {
-    const std::string skeleton_key = transitions.canonical_key();
-    const std::uint64_t skeleton_hash = canonical_hash(skeleton_key);
+    skeleton_key = transitions.canonical_key();
+    skeleton_hash = canonical_hash(skeleton_key);
     result.monoid_ = options.monoid_cache->find(skeleton_hash, skeleton_key);
     if (result.monoid_ != nullptr && result.monoid_->size() > options.max_monoid) {
       // Same contract as enumeration: a tighter-budget caller must see the
@@ -64,34 +71,48 @@ ClassifiedProblem classify(const PairwiseProblem& problem, const ClassifyOptions
       throw_monoid_budget_overflow(options.max_monoid);
     }
     if (result.monoid_ == nullptr) {
-      // A budget overflow throws here, before insert(): failures are never
-      // cached, so a retry with a bigger budget recomputes.
-      result.monoid_ = options.monoid_cache->insert(
-          skeleton_hash, skeleton_key,
-          std::make_shared<const Monoid>(Monoid::enumerate(transitions, options.max_monoid)));
+      // A budget overflow or cancellation throws here, before insert():
+      // failures are never cached, so a retry recomputes.
+      auto built = std::make_shared<const Monoid>(
+          Monoid::enumerate(transitions, options.max_monoid, options.budget));
+      result.monoid_ =
+          options.monoid_cache->insert(skeleton_hash, skeleton_key, built);
+      published_monoid = (result.monoid_ == built);
     }
   } else {
     result.monoid_ = std::make_shared<const Monoid>(
-        Monoid::enumerate(transitions, options.max_monoid));
+        Monoid::enumerate(transitions, options.max_monoid, options.budget));
   }
 
-  result.solvability_ = check_solvability(*result.monoid_, problem.topology());
-  if (!result.solvability_.solvable) {
-    result.complexity_ = ComplexityClass::kUnsolvable;
+  try {
+    result.solvability_ = check_solvability(*result.monoid_, problem.topology());
+    if (!result.solvability_.solvable) {
+      result.complexity_ = ComplexityClass::kUnsolvable;
+      return result;
+    }
+
+    result.linear_ = decide_linear_gap(*result.monoid_, options.linear_engine,
+                                       options.certificate_mode, options.budget);
+    if (!result.linear_.feasible) {
+      result.complexity_ = ComplexityClass::kLinear;
+      return result;
+    }
+
+    result.const_ = decide_const_gap(*result.monoid_, options.budget);
+    result.complexity_ = result.const_.feasible ? ComplexityClass::kConstant
+                                                : ComplexityClass::kLogStar;
     return result;
+  } catch (...) {
+    // The monoid itself is sound (enumeration completed), but a run that
+    // fails mid-decision must not leave the abandoned problem discoverable
+    // in the shared cache — the no-poisoned-entries contract deadlines and
+    // fault injection both test. Lost insert races stay untouched: the
+    // other writer's entry is doing real work for other callers.
+    if (published_monoid) {
+      options.monoid_cache->erase(skeleton_hash, skeleton_key);
+    }
+    throw;
   }
-
-  result.linear_ =
-      decide_linear_gap(*result.monoid_, options.linear_engine, options.certificate_mode);
-  if (!result.linear_.feasible) {
-    result.complexity_ = ComplexityClass::kLinear;
-    return result;
-  }
-
-  result.const_ = decide_const_gap(*result.monoid_);
-  result.complexity_ = result.const_.feasible ? ComplexityClass::kConstant
-                                              : ComplexityClass::kLogStar;
-  return result;
 }
 
 }  // namespace lclpath

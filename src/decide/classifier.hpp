@@ -57,6 +57,16 @@ struct ClassifyOptions {
   /// whose size exceeds max_monoid throws the same budget error
   /// enumeration would have thrown.
   MonoidCache* monoid_cache = nullptr;
+  /// Optional cooperative cancellation/deadline budget (see
+  /// core/cancel.hpp). When non-null, every unbounded hot loop in the
+  /// pipeline — monoid BFS, both linear-gap engines, the const-gap
+  /// search — checkpoints it and aborts with CancelledError when a limit
+  /// trips. A cancelled classify() leaves monoid_cache consistent: a
+  /// monoid this call inserted is erased again before the error
+  /// propagates, so shared caches hold no entry for the abandoned
+  /// problem. Null = run to completion (no overhead beyond a pointer
+  /// test per checkpoint site).
+  const ExecutionBudget* budget = nullptr;
 };
 
 /// Classification result; owns everything synthesis needs (the problem

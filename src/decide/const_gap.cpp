@@ -25,7 +25,8 @@ struct SignatureHash {
 
 }  // namespace
 
-ConstGapCertificate decide_const_gap(const Monoid& monoid) {
+ConstGapCertificate decide_const_gap(const Monoid& monoid,
+                                     const ExecutionBudget* budget) {
   ConstGapCertificate cert;
   const TransitionSystem& ts = monoid.transitions();
   const PairwiseProblem& problem = ts.problem();
@@ -41,6 +42,7 @@ ConstGapCertificate decide_const_gap(const Monoid& monoid) {
   std::vector<BitMatrix> pow_l(n_elems);
   std::vector<BitMatrix> pow_l_a(n_elems);  // N^L * A(first)
   for (std::size_t e = 0; e < n_elems; ++e) {
+    budget_checkpoint(budget);
     pow_l[e] = monoid.element(e).fwd.power(L);
     pow_l_a[e] = pow_l[e] * ts.step(monoid.element(e).first);
   }
@@ -66,6 +68,7 @@ ConstGapCertificate decide_const_gap(const Monoid& monoid) {
     allowed_left.resize(n_elems);
     right_ok.assign(n_elems, std::vector<char>(beta, 1));
     for (std::size_t e = 0; e < n_elems; ++e) {
+      budget_checkpoint(budget);
       BitVector allowed = BitVector::ones(beta);
       for (std::size_t u = 0; u < n_elems; ++u) {
         allowed = allowed & monoid.element(u).pvec.multiplied(pow_l_a[e]);
@@ -117,6 +120,7 @@ ConstGapCertificate decide_const_gap(const Monoid& monoid) {
 
   std::vector<std::vector<Candidate>> candidates(n_elems);
   for (std::size_t e = 0; e < n_elems; ++e) {
+    budget_checkpoint(budget);
     const MonoidElement& elem = monoid.element(e);
     const std::size_t erev = monoid.reversed_index(e);
     for (Label x = 0; x < beta; ++x) {
@@ -158,6 +162,7 @@ ConstGapCertificate decide_const_gap(const Monoid& monoid) {
   std::vector<std::vector<char>> compat(n_sigs, std::vector<char>(n_sigs, 0));
   for (std::size_t s1 = 0; s1 < n_sigs; ++s1) {
     for (std::size_t s2 = 0; s2 < n_sigs; ++s2) {
+      budget_checkpoint(budget);
       bool ok = signatures[s1].row.intersects(signatures[s2].col);  // empty middle
       for (std::size_t u = 0; u < n_elems && ok; ++u) {
         ok = reach[s1][u].intersects(signatures[s2].col);
@@ -226,6 +231,7 @@ ConstGapCertificate decide_const_gap(const Monoid& monoid) {
   const auto try_profiles = [&](auto&& self, std::size_t i) -> bool {
     if (i == profiles.size()) return true;
     for (std::size_t k = 0; k < profiles[i].options.size(); ++k) {
+      budget_checkpoint(budget);
       const auto [sf, sr] = profiles[i].options[k];
       if (!sig_fits(sf)) continue;
       const std::size_t saved = chosen_sigs.size();

@@ -71,6 +71,10 @@ struct ConstGapCertificate {
   }
 };
 
-ConstGapCertificate decide_const_gap(const Monoid& monoid);
+/// A non-null `budget` is checkpointed through the pumped-power build,
+/// the endpoint/compatibility sweeps, and the backtracking search, so a
+/// deadline or cancellation interrupts the decider with CancelledError.
+ConstGapCertificate decide_const_gap(const Monoid& monoid,
+                                     const ExecutionBudget* budget = nullptr);
 
 }  // namespace lclpath

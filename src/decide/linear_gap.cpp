@@ -305,8 +305,10 @@ struct AggregateCaps {
 
 class FactorizedSearch {
  public:
-  explicit FactorizedSearch(const Monoid& monoid)
-      : monoid_(monoid),
+  explicit FactorizedSearch(const Monoid& monoid,
+                            const ExecutionBudget* budget = nullptr)
+      : budget_(budget),
+        monoid_(monoid),
         ts_(monoid.transitions()),
         problem_(ts_.problem()),
         cycle_(is_cycle(problem_.topology())),
@@ -337,6 +339,7 @@ class FactorizedSearch {
     };
     std::vector<BranchFrame> stack;
     while (true) {
+      budget_checkpoint(budget_);
       bool alive = propagate(caps);
       GlueConflict conflict;
       bool conflicted = false;
@@ -370,6 +373,7 @@ class FactorizedSearch {
   }
 
  private:
+  const ExecutionBudget* budget_;
   const Monoid& monoid_;
   const TransitionSystem& ts_;
   const PairwiseProblem& problem_;
@@ -583,6 +587,7 @@ class FactorizedSearch {
   bool shrink_pass(AggregateCaps& caps, bool& changed) {
     derive_filters(caps);
     for (std::size_t i = 0; i < n_pairs_; ++i) {
+      budget_checkpoint(budget_);
       for (Label s0 = 0; s0 < alpha_; ++s0) {
         for (Label s1 = 0; s1 < alpha_; ++s1) {
           p_[i][s0].multiply_into(cand_[s0][s1], xb_[i][s0][s1]);
@@ -597,6 +602,7 @@ class FactorizedSearch {
     for (Label s0 = 0; s0 < alpha_; ++s0) {
       for (Label s1 = 0; s1 < alpha_; ++s1) {
         for (std::size_t l = 0; l < n_pairs_; ++l) {
+          budget_checkpoint(budget_);
           const BitVector& xb = xb_[l][s0][s1];
           for (std::size_t r = 0; r < n_pairs_; ++r) {
             if (!xb.intersects(q_[r][s1])) return false;  // interior died
@@ -688,6 +694,7 @@ class FactorizedSearch {
     for (std::size_t c1 = 0; c1 < n_cls_; ++c1) {
       for (std::size_t c2 = 0; c2 < n_cls_; ++c2) {
         for (Label s0 = 0; s0 < alpha_; ++s0) {
+          budget_checkpoint(budget_);
           BitVector& acc = caps.accept[c2][s0];
           support.clear();
           for (Label sym1 = 0; sym1 < beta_; ++sym1) {
@@ -731,6 +738,7 @@ class FactorizedSearch {
     for (std::size_t c1 = 0; c1 < n_cls_; ++c1) {
       for (std::size_t c2 = 0; c2 < n_cls_; ++c2) {
         for (Label s0 = 0; s0 < alpha_; ++s0) {
+          budget_checkpoint(budget_);
           const BitVector& acc = caps.accept[c2][s0];
           glued_by_all = BitVector::ones(beta_);
           for (Label sym1 = 0; sym1 < beta_; ++sym1) {
@@ -811,8 +819,9 @@ class FactorizedSearch {
   }
 };
 
-LinearGapCertificate decide_factorized(const Monoid& monoid, CertificateMode mode) {
-  return FactorizedSearch(monoid).run(mode);
+LinearGapCertificate decide_factorized(const Monoid& monoid, CertificateMode mode,
+                                       const ExecutionBudget* budget) {
+  return FactorizedSearch(monoid, budget).run(mode);
 }
 
 // =====================================================================
@@ -824,6 +833,7 @@ LinearGapCertificate decide_factorized(const Monoid& monoid, CertificateMode mod
 struct Search {
   const Monoid& monoid;
   const TransitionSystem& ts;
+  const ExecutionBudget* budget = nullptr;
   bool cycle;
   bool directed;
 
@@ -862,6 +872,10 @@ struct Search {
     const auto key = std::tuple(right_elem, left_elem, s0);
     auto it = glue_cache.find(key);
     if (it == glue_cache.end()) {
+      // A miss is two dense BitMatrix multiplies — heavy enough that the
+      // amortized tick counter would hide the clock for seconds on large
+      // lifted alphabets, so read it directly.
+      budget_check(budget);
       BitMatrix g = monoid.element(right_elem).fwd * monoid.element(left_elem).fwd *
                     ts.step(s0);
       it = glue_cache.emplace(key, std::move(g)).first;
@@ -904,7 +918,8 @@ struct Search {
   }
 };
 
-LinearGapCertificate decide_pairwise(const Monoid& monoid) {
+LinearGapCertificate decide_pairwise(const Monoid& monoid,
+                                     const ExecutionBudget* budget) {
   LinearGapCertificate cert;
   const TransitionSystem& ts = monoid.transitions();
   const PairwiseProblem& problem = ts.problem();
@@ -918,20 +933,29 @@ LinearGapCertificate decide_pairwise(const Monoid& monoid) {
   const std::vector<std::size_t> contexts = context_elements(monoid, cert.ell_ctx);
 
   Search search(monoid);
+  search.budget = budget;
   search.row_cache.resize(monoid.size());
 
-  // Build the domain.
+  // Build the domain. The point count is cubic-ish in practice (kinds x
+  // |contexts|^2 x alpha^2) and lifted problems reach tens of millions of
+  // points, so the build itself — and the index/reversal/candidate passes
+  // below — must checkpoint and charge the budget: on such domains they
+  // dominate the wall clock before any constraint is ever probed.
   auto add_points = [&](BlockKind kind) {
     for (std::size_t left : contexts) {
       for (Label s0 = 0; s0 < ts.num_inputs(); ++s0) {
         for (Label s1 = 0; s1 < ts.num_inputs(); ++s1) {
           for (std::size_t right : contexts) {
+            budget_checkpoint(budget);
             search.domain.push_back(BlockPoint{kind, left, s0, s1, right});
           }
         }
       }
     }
   };
+  budget_charge_memory(budget, linear_gap_domain_size(monoid, nullptr) *
+                                   (sizeof(BlockPoint) + sizeof(std::size_t) +
+                                    sizeof(std::vector<BlockValue>)));
   add_points(BlockKind::kInterior);
   if (!cycle) {
     add_points(BlockKind::kLeftEnd);
@@ -944,9 +968,13 @@ LinearGapCertificate decide_pairwise(const Monoid& monoid) {
   // built once and moved into the dense certificate at the end.
   std::unordered_map<BlockPoint, std::size_t, BlockPointHash> point_index;
   point_index.reserve(n_points);
-  for (std::size_t i = 0; i < n_points; ++i) point_index.emplace(search.domain[i], i);
+  for (std::size_t i = 0; i < n_points; ++i) {
+    budget_checkpoint(budget);
+    point_index.emplace(search.domain[i], i);
+  }
   search.rho.resize(n_points);
   for (std::size_t i = 0; i < n_points; ++i) {
+    budget_checkpoint(budget);
     if (directed) {
       search.rho[i] = i;
       continue;
@@ -964,6 +992,7 @@ LinearGapCertificate decide_pairwise(const Monoid& monoid) {
   for (std::size_t i = 0; i < n_points; ++i) {
     const BlockPoint& p = search.domain[i];
     for (Label va = 0; va < beta; ++va) {
+      budget_checkpoint(budget);
       if (!problem.node_ok(p.s0, va)) continue;
       for (Label vb = 0; vb < beta; ++vb) {
         if (!problem.node_ok(p.s1, vb)) continue;
@@ -1003,6 +1032,7 @@ LinearGapCertificate decide_pairwise(const Monoid& monoid) {
       for (std::size_t elemR : contexts) {
         BitVector all = BitVector::ones(beta);
         for (std::size_t p2 = 0; p2 < n_points; ++p2) {
+          budget_checkpoint(budget);
           if (!search.right_role(p2)) continue;
           const BlockPoint& b = search.domain[p2];
           BitVector a_set(beta);
@@ -1010,6 +1040,7 @@ LinearGapCertificate decide_pairwise(const Monoid& monoid) {
           const BitMatrix& g = search.glue_matrix(elemR, b.left, b.s0);
           BitVector supported(beta);
           for (Label sym1 = 0; sym1 < beta; ++sym1) {
+            budget_checkpoint(budget);
             BitVector row(beta);
             for (Label sym2 = 0; sym2 < beta; ++sym2) row.set(sym2, g.get(sym1, sym2));
             if (row.intersects(a_set)) supported.set(sym1, true);
@@ -1034,6 +1065,7 @@ LinearGapCertificate decide_pairwise(const Monoid& monoid) {
         for (Label s0 = 0; s0 < ts.num_inputs(); ++s0) {
           BitVector all = BitVector::ones(beta);
           for (std::size_t p1 = 0; p1 < n_points; ++p1) {
+            budget_checkpoint(budget);
             if (!search.left_role(p1)) continue;
             const BlockPoint& a = search.domain[p1];
             BitVector b_set(beta);
@@ -1119,11 +1151,16 @@ LinearGapCertificate decide_pairwise(const Monoid& monoid) {
     bool placed = false;
     while (vi_at[pos] < np && !placed) {
       for (; qi_at[pos] < nq; ++qi_at[pos]) {
+        budget_checkpoint(budget);
         chosen[p] = static_cast<int>(vi_at[pos]);
         if (q != p) chosen[q] = static_cast<int>(qi_at[pos]);
         // Check all constraints among assigned points that involve p or q.
+        // Tick per pair-check, not per placement: a placement sweeps every
+        // assigned point, so on large lifted domains one tick per placement
+        // would put thousands of glue probes between clock reads.
         bool ok = true;
         for (std::size_t other = 0; other < n_points && ok; ++other) {
+          budget_checkpoint(budget);
           if (chosen[other] < 0) continue;
           ok = assigned_pair_ok(p, other) && assigned_pair_ok(other, p);
           if (ok && q != p) ok = assigned_pair_ok(q, other) && assigned_pair_ok(other, q);
@@ -1164,11 +1201,13 @@ LinearGapCertificate decide_pairwise(const Monoid& monoid) {
 }  // namespace
 
 LinearGapCertificate decide_linear_gap(const Monoid& monoid, LinearGapEngine engine,
-                                       CertificateMode mode) {
+                                       CertificateMode mode,
+                                       const ExecutionBudget* budget) {
   // The pair-wise oracle's choices come from per-point backtracking, not a
   // class-level solution — it is dense by construction.
-  return engine == LinearGapEngine::kPairwise ? decide_pairwise(monoid)
-                                              : decide_factorized(monoid, mode);
+  return engine == LinearGapEngine::kPairwise
+             ? decide_pairwise(monoid, budget)
+             : decide_factorized(monoid, mode, budget);
 }
 
 std::size_t linear_gap_domain_size(const Monoid& monoid, std::size_t* num_contexts) {

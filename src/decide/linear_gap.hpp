@@ -186,10 +186,14 @@ enum class LinearGapEngine : std::uint8_t { kFactorized, kPairwise };
 /// and enumerate certificates in the same domain order; only the search
 /// strategy (and the specific feasible function found) may differ. `mode`
 /// picks the certificate backend (see CertificateMode; ignored by the
-/// pair-wise oracle, which is dense by construction).
+/// pair-wise oracle, which is dense by construction). A non-null `budget`
+/// is checkpointed throughout both engines' propagation, sweep, and
+/// branch loops, so a deadline or cancellation interrupts even the
+/// quadratic pair-wise oracle with CancelledError.
 LinearGapCertificate decide_linear_gap(
     const Monoid& monoid, LinearGapEngine engine = LinearGapEngine::kFactorized,
-    CertificateMode mode = CertificateMode::kAuto);
+    CertificateMode mode = CertificateMode::kAuto,
+    const ExecutionBudget* budget = nullptr);
 
 /// Number of domain points decide_linear_gap enumerates for this monoid
 /// (kinds * |contexts|^2 * |Sigma_in|^2, where contexts are the layers at

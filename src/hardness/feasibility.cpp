@@ -47,12 +47,13 @@ const BitVector& PiFeasibility::first_allowed(const InLabel& in) const {
 }
 
 std::vector<BitVector> PiFeasibility::feasible_sets(
-    const std::vector<InLabel>& input) const {
+    const std::vector<InLabel>& input, const ExecutionBudget* budget) const {
   const std::size_t n = input.size();
   if (n == 0) return {};
   std::vector<BitVector> reach(n);
   reach[0] = first_allowed(input[0]);
   for (std::size_t v = 1; v < n; ++v) {
+    budget_checkpoint(budget);
     reach[v] = BitVector(outputs_.size());
     reach[v - 1].multiply_into(transfer(input[v - 1], input[v]).forward, reach[v]);
   }
@@ -62,6 +63,7 @@ std::vector<BitVector> PiFeasibility::feasible_sets(
   feasible[n - 1] &= last_allowed_;
   BitVector extendable(outputs_.size());
   for (std::size_t v = n - 1; v > 0; --v) {
+    budget_checkpoint(budget);
     feasible[v].multiply_into(transfer(input[v - 1], input[v]).backward, extendable);
     feasible[v - 1] &= extendable;
   }
@@ -69,8 +71,8 @@ std::vector<BitVector> PiFeasibility::feasible_sets(
 }
 
 std::vector<std::size_t> PiFeasibility::feasible_counts(
-    const std::vector<InLabel>& input) const {
-  const std::vector<BitVector> sets = feasible_sets(input);
+    const std::vector<InLabel>& input, const ExecutionBudget* budget) const {
+  const std::vector<BitVector> sets = feasible_sets(input, budget);
   std::vector<std::size_t> counts;
   counts.reserve(sets.size());
   for (const BitVector& set : sets) counts.push_back(set.count());

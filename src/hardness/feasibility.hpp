@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/bitmatrix.hpp"
+#include "core/cancel.hpp"
 #include "hardness/pi_problem.hpp"
 
 namespace lclpath::hardness {
@@ -34,11 +35,15 @@ class PiFeasibility {
   /// Feasible output sets per position: forward reach intersected with
   /// the backward prune, honoring the first-node rule and the last-node
   /// mask (allowed_at_last). Matches the scalar reference DP bit for bit
-  /// (pinned by tests/hardness_diff_test.cpp).
-  std::vector<BitVector> feasible_sets(const std::vector<InLabel>& input) const;
+  /// (pinned by tests/hardness_diff_test.cpp). A non-null `budget` is
+  /// checkpointed once per position in both sweeps, so long encoding
+  /// chains honor deadlines and cancellation.
+  std::vector<BitVector> feasible_sets(const std::vector<InLabel>& input,
+                                       const ExecutionBudget* budget = nullptr) const;
 
   /// Number of feasible output labels per position.
-  std::vector<std::size_t> feasible_counts(const std::vector<InLabel>& input) const;
+  std::vector<std::size_t> feasible_counts(const std::vector<InLabel>& input,
+                                           const ExecutionBudget* budget = nullptr) const;
 
   /// Transfer matrices for one adjacent input pair: forward[p][o] = 1 iff
   /// node_ok(in, o | in_pred, p); backward is its transpose. Built on

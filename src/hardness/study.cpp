@@ -127,12 +127,21 @@ StudyResult classify_hardness(std::span<const PairwiseProblem> problems,
   batch.classify.max_monoid = options.max_monoid;
   batch.classify.certificate_mode = CertificateMode::kAuto;
   batch.classify.monoid_cache = monoids;
+  batch.classify.budget = options.budget;
+  batch.problem_deadline_ms = options.problem_deadline_ms;
+  batch.batch_deadline_ms = options.study_deadline_ms;
 
   StudyResult result;
   result.entries = classify_batch(problems, batch);
   result.summary = summarize_batch(result.entries);
   result.monoid_hits = monoids->hits() - hits_before;
   result.monoid_misses = monoids->misses() - misses_before;
+  result.timeouts =
+      result.summary.by_error[static_cast<std::size_t>(BatchErrorKind::kTimeout)];
+  result.budget_overflows =
+      result.summary.by_error[static_cast<std::size_t>(BatchErrorKind::kBudget)];
+  result.cancelled =
+      result.summary.by_error[static_cast<std::size_t>(BatchErrorKind::kCancelled)];
   return result;
 }
 

@@ -50,6 +50,16 @@ struct StudyOptions {
   /// hit instead of recompute.
   MonoidCache* monoid_cache = nullptr;
   BatchCache* batch_cache = nullptr;
+  /// Per-problem / study-wide deadlines in milliseconds (0 = none),
+  /// forwarded to BatchOptions. A timed-out problem records a kTimeout
+  /// entry — for the Theorem 5 studies a first-class observable alongside
+  /// budget overflows, since a deadline is just the wall-clock face of the
+  /// same PSPACE wall.
+  std::uint64_t problem_deadline_ms = 0;
+  std::uint64_t study_deadline_ms = 0;
+  /// Optional cooperative cancellation/deadline budget shared by every
+  /// worker in the study (core/cancel.hpp). Null = unbounded.
+  const ExecutionBudget* budget = nullptr;
 };
 
 struct StudyResult {
@@ -59,6 +69,11 @@ struct StudyResult {
   /// caller shares the cache with concurrent batches).
   std::uint64_t monoid_hits = 0;
   std::uint64_t monoid_misses = 0;
+  /// Failure census by kind (summary.by_error re-exposed under the names
+  /// the hardness reports print).
+  std::size_t timeouts = 0;
+  std::size_t budget_overflows = 0;
+  std::size_t cancelled = 0;
 };
 
 /// classify_batch over the given problems with the hardness defaults:

@@ -226,7 +226,8 @@ std::size_t hash_words(const std::uint64_t* words, std::size_t count, std::size_
 }
 }  // namespace
 
-RunResult run(const Machine& machine, std::size_t tape_size, std::size_t max_steps) {
+RunResult run(const Machine& machine, std::size_t tape_size, std::size_t max_steps,
+              const ExecutionBudget* budget) {
   const StepTable& table = machine.step_table();
   const State final_state = machine.final_state();
   RunResult result;
@@ -277,11 +278,13 @@ RunResult run(const Machine& machine, std::size_t tape_size, std::size_t max_ste
   };
   const auto push = [&] {
     arena.insert(arena.end(), current.words().begin(), current.words().end());
+    budget_charge_memory(budget, wpc * sizeof(std::uint64_t));
   };
 
   push();
   find_or_insert(0);
   for (std::size_t s = 0; s < max_steps; ++s) {
+    budget_checkpoint(budget);
     if (current.state() == final_state) {
       result.halts = true;
       result.steps = s;
@@ -301,7 +304,7 @@ RunResult run(const Machine& machine, std::size_t tape_size, std::size_t max_ste
 }
 
 RunStats run_headless(const Machine& machine, std::size_t tape_size,
-                      std::size_t max_steps) {
+                      std::size_t max_steps, const ExecutionBudget* budget) {
   const StepTable& table = machine.step_table();
   const State final_state = machine.final_state();
   RunStats result;
@@ -314,6 +317,7 @@ RunStats run_headless(const Machine& machine, std::size_t tape_size,
   std::size_t lambda = 0;
   std::size_t hare_steps = 0;
   do {
+    budget_checkpoint(budget);
     if (power == lambda) {
       tortoise = hare;
       power *= 2;
@@ -337,9 +341,13 @@ RunStats run_headless(const Machine& machine, std::size_t tape_size,
   // steps apart from the start.
   PackedConfig front(machine, tape_size);
   PackedConfig back(machine, tape_size);
-  for (std::size_t i = 0; i < lambda; ++i) front.step(table);
+  for (std::size_t i = 0; i < lambda; ++i) {
+    budget_checkpoint(budget);
+    front.step(table);
+  }
   std::size_t mu = 0;
   while (!(front == back)) {
+    budget_checkpoint(budget);
     front.step(table);
     back.step(table);
     ++mu;

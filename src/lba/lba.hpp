@@ -26,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "core/cancel.hpp"
+
 namespace lclpath::lba {
 
 /// Tape symbols: 0, 1 and the boundary markers.
@@ -172,7 +174,8 @@ class RunResult {
   const std::vector<Configuration>& trace() const;
 
  private:
-  friend RunResult run(const Machine&, std::size_t, std::size_t);
+  friend RunResult run(const Machine&, std::size_t, std::size_t,
+                       const ExecutionBudget*);
   std::size_t tape_size_ = 0;
   std::size_t words_per_config_ = 0;
   std::vector<std::uint64_t> arena_;  // trace_length() packed configs
@@ -182,9 +185,12 @@ class RunResult {
 /// Runs the machine from the initial configuration, detecting loops by
 /// configuration hashing (the configuration space is finite:
 /// |Q| * B * |Gamma|^B). `max_steps` guards against pathological blowups;
-/// exceeding it throws std::runtime_error.
+/// exceeding it throws std::runtime_error. A non-null `budget` is
+/// checkpointed per step and charged the trace arena's growth, so long
+/// runs honor deadlines, cancellation, and memory ceilings.
 RunResult run(const Machine& machine, std::size_t tape_size,
-              std::size_t max_steps = 10'000'000);
+              std::size_t max_steps = 10'000'000,
+              const ExecutionBudget* budget = nullptr);
 
 /// Halting statistics without a trace: loop_start/loop_length are the
 /// (mu, lambda) of the configuration orbit for looping machines.
@@ -201,7 +207,8 @@ struct RunStats {
 /// fit. Costs at most ~3 (mu + lambda) steps; throws std::runtime_error
 /// when the halting time or mu + lambda exceeds `max_steps`.
 RunStats run_headless(const Machine& machine, std::size_t tape_size,
-                      std::size_t max_steps = 100'000'000);
+                      std::size_t max_steps = 100'000'000,
+                      const ExecutionBudget* budget = nullptr);
 
 /// Initial configuration on a size-B tape: (L, 0, ..., 0, R), head at 0.
 /// Requires B >= 2.

@@ -44,6 +44,13 @@ bool is_blank_or_comment(const std::string& line) {
   throw std::invalid_argument("parse_problem: line " + std::to_string(line_no) + ": " + why);
 }
 
+/// Alphabets beyond this are rejected as malformed rather than honored:
+/// every downstream structure is at least quadratic in alphabet size (the
+/// transition system alone is |Sigma_out|^2 bits per element), so a hostile
+/// "inputs" line with millions of labels would turn the parser's caller
+/// into an allocation bomb before any budget checkpoint runs.
+constexpr std::size_t kMaxAlphabetSize = 4096;
+
 }  // namespace
 
 std::string serialize(const PairwiseProblem& problem) {
@@ -104,6 +111,8 @@ PairwiseProblem parse_problem(const std::string& text) {
 PairwiseProblem parse_problem(std::istream& in) {
   std::string name = "unnamed";
   Topology topology = Topology::kDirectedCycle;
+  bool saw_name = false;
+  bool saw_topology = false;
   std::optional<Alphabet> inputs;
   std::optional<Alphabet> outputs;
   struct Pair {
@@ -127,15 +136,26 @@ PairwiseProblem parse_problem(std::istream& in) {
     const std::string& keyword = tokens[0];
     if (keyword == "lcl") {
       if (tokens.size() < 2) fail(line_no, "'lcl' needs a name");
+      if (saw_name) fail(line_no, "duplicate 'lcl' line");
+      saw_name = true;
       name = tokens[1];
       for (std::size_t i = 2; i < tokens.size(); ++i) name += " " + tokens[i];
     } else if (keyword == "topology") {
       if (tokens.size() != 2) fail(line_no, "'topology' needs one keyword");
+      if (saw_topology) fail(line_no, "duplicate 'topology' line");
+      saw_topology = true;
       auto it = topology_names().find(tokens[1]);
       if (it == topology_names().end()) fail(line_no, "unknown topology '" + tokens[1] + "'");
       topology = it->second;
     } else if (keyword == "inputs" || keyword == "outputs") {
       if (tokens.size() < 2) fail(line_no, "'" + keyword + "' needs at least one label");
+      if (keyword == "inputs" ? inputs.has_value() : outputs.has_value()) {
+        fail(line_no, "duplicate '" + keyword + "' line");
+      }
+      if (tokens.size() - 1 > kMaxAlphabetSize) {
+        fail(line_no, "'" + keyword + "' declares " + std::to_string(tokens.size() - 1) +
+                          " labels; the limit is " + std::to_string(kMaxAlphabetSize));
+      }
       Alphabet alphabet;
       for (std::size_t i = 1; i < tokens.size(); ++i) {
         if (alphabet.contains(tokens[i])) fail(line_no, "duplicate label '" + tokens[i] + "'");

@@ -39,7 +39,12 @@ std::string serialize(const PairwiseProblem& problem);
 void serialize(const PairwiseProblem& problem, std::ostream& out);
 
 /// Parses the format above; throws std::invalid_argument with a line
-/// number on malformed input.
+/// number on malformed input and never crashes on hostile bytes. Malformed
+/// includes truncated blocks (no 'end'), unknown keywords or labels,
+/// duplicate 'lcl'/'topology'/'inputs'/'outputs' declarations, duplicate
+/// labels within an alphabet, and alphabets beyond an internal size cap
+/// (absurd declarations would otherwise be allocation bombs downstream).
+/// Batch pipelines surface these as BatchErrorKind::kMalformed.
 PairwiseProblem parse_problem(const std::string& text);
 PairwiseProblem parse_problem(std::istream& in);
 

@@ -143,12 +143,14 @@ EnginePlan plan_run(std::size_t n, const SimulationOptions& options) {
 class ChunkRunner {
  public:
   ChunkRunner(const LocalAlgorithm& algorithm, const PairwiseProblem& problem,
-              const Instance& instance, std::size_t radius, Label* out)
+              const Instance& instance, std::size_t radius, Label* out,
+              const ExecutionBudget* budget = nullptr)
       : algorithm_(algorithm),
         problem_(problem),
         instance_(instance),
         radius_(radius),
-        out_(out) {}
+        out_(out),
+        budget_(budget) {}
 
   ChunkVerdict run(std::size_t begin, std::size_t end) const {
     const std::size_t n = instance_.size();
@@ -167,7 +169,11 @@ class ChunkRunner {
   }
 
  private:
+  // One checkpoint per simulated node: every execution path (span sweep,
+  // rotation, sliding windows) funnels through emit, so deadlines and
+  // cancellation interrupt chunk workers wherever the work happens.
   void emit(std::size_t v, Label label, PairwiseChunkVerifier& verifier) const {
+    budget_checkpoint(budget_);
     verifier.push(instance_.inputs[v], label);
     if (out_ != nullptr) out_[v] = label;
   }
@@ -334,6 +340,7 @@ class ChunkRunner {
   const Instance& instance_;
   std::size_t radius_;
   Label* out_;
+  const ExecutionBudget* budget_;
 };
 
 /// Memoized full-view regime: derive the content-determined canonical word
@@ -344,7 +351,8 @@ class ChunkRunner {
 SimulationResult simulate_full_view_memo(const PairwiseProblem& fvp,
                                          const PairwiseProblem& problem,
                                          const Instance& instance, std::size_t radius,
-                                         bool keep_outputs) {
+                                         bool keep_outputs,
+                                         const ExecutionBudget* budget) {
   const std::size_t n = instance.size();
   SimulationResult result;
   result.radius = radius;
@@ -376,6 +384,7 @@ SimulationResult simulate_full_view_memo(const PairwiseProblem& fvp,
   if (keep_outputs) result.outputs.resize(n);
   PairwiseChunkVerifier verifier(problem, n, 0, n);
   for (std::size_t v = 0; v < n; ++v) {
+    budget_checkpoint(budget);
     std::size_t k = v;
     if (instance.cycle()) {
       k = forward ? (v + n - anchor) % n : (anchor + n - v) % n;
@@ -407,7 +416,7 @@ SimulationResult simulate(const LocalAlgorithm& algorithm, const PairwiseProblem
   const PairwiseProblem* fvp = algorithm.full_view_problem();
   if (fvp != nullptr && options.full_view_memo && full_regime) {
     return simulate_full_view_memo(*fvp, problem, instance, radius,
-                                   options.keep_outputs);
+                                   options.keep_outputs, options.budget);
   }
 
   const EnginePlan plan = plan_run(n, options);
@@ -417,7 +426,8 @@ SimulationResult simulate(const LocalAlgorithm& algorithm, const PairwiseProblem
   result.chunks = plan.num_chunks;
   if (options.keep_outputs) result.outputs.resize(n);
   Label* out = options.keep_outputs ? result.outputs.data() : nullptr;
-  const ChunkRunner runner(algorithm, problem, instance, radius, out);
+  const ChunkRunner runner(algorithm, problem, instance, radius, out,
+                           options.budget);
 
   std::vector<ChunkVerdict> verdicts;
   verdicts.reserve(plan.num_chunks);

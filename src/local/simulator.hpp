@@ -53,6 +53,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "lcl/verifier.hpp"
 #include "local/instance.hpp"
 
@@ -153,6 +154,11 @@ struct SimulationOptions {
   /// When false, full-view-regime algorithms run node-by-node even if they
   /// declare full_view_problem() — the honest Theta(n^2) gather baseline.
   bool full_view_memo = true;
+  /// Optional cooperative cancellation/deadline budget (core/cancel.hpp),
+  /// checkpointed once per simulated node in every chunk worker. A tripped
+  /// limit aborts the run with CancelledError (the earliest chunk's, under
+  /// the engine's deterministic error-collection order). Null = unbounded.
+  const ExecutionBudget* budget = nullptr;
 };
 
 /// Result of simulating an algorithm over an instance.

@@ -1,0 +1,144 @@
+// Parser hardening: parse_problem / parse_problems over hostile bytes.
+//
+// Contract under test (serialize.hpp): the parser either returns a valid
+// problem or throws std::invalid_argument with a line number — it never
+// crashes, never hangs, and never lets an absurd declaration (a
+// million-label alphabet) through to become an allocation bomb in the
+// classifier. The fuzz loop mutates valid catalog serializations with a
+// seeded RNG so every CI run exercises the same corpus.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "lcl/catalog.hpp"
+#include "lcl/serialize.hpp"
+
+namespace lclpath {
+namespace {
+
+std::vector<std::string> corpus() {
+  std::vector<std::string> texts;
+  for (const PairwiseProblem& problem :
+       {catalog::coloring(3), catalog::constant_output(),
+        catalog::maximal_independent_set(), catalog::agreement(),
+        catalog::prefix_parity(), catalog::two_coloring(),
+        catalog::shift_input(), catalog::input_gated_coloring()}) {
+    texts.push_back(serialize(problem));
+  }
+  return texts;
+}
+
+// The only acceptable behaviors: a parse that round-trips, or a clean
+// std::invalid_argument. Anything else (other exception types, crashes)
+// fails the test.
+void expect_parse_is_total(const std::string& text) {
+  try {
+    const PairwiseProblem parsed = parse_problem(text);
+    EXPECT_EQ(parse_problem(serialize(parsed)), parsed);
+  } catch (const std::invalid_argument&) {
+    // fine: structured rejection
+  }
+  try {
+    std::istringstream in(text);
+    (void)parse_problems(in);
+  } catch (const std::invalid_argument&) {
+  }
+}
+
+TEST(SerializeFuzz, CorpusRoundTrips) {
+  for (const std::string& text : corpus()) {
+    const PairwiseProblem parsed = parse_problem(text);
+    EXPECT_EQ(serialize(parsed), text);
+  }
+}
+
+TEST(SerializeFuzz, SeededMutationsNeverCrashTheParser) {
+  const std::vector<std::string> texts = corpus();
+  Rng rng(0xf0220dull);
+  constexpr int kIterations = 4000;
+  // Built piecewise: a "\0..." literal would truncate at the NUL.
+  const std::string garbage =
+      std::string(1, '\0') + "\t\x7f lcl topology node edge end # 9999999999";
+  for (int iter = 0; iter < kIterations; ++iter) {
+    std::string text = texts[rng.next_below(texts.size())];
+    const int mutations = 1 + static_cast<int>(rng.next_below(4));
+    for (int m = 0; m < mutations; ++m) {
+      if (text.empty()) break;
+      switch (rng.next_below(6)) {
+        case 0:  // flip a byte
+          text[rng.next_below(text.size())] =
+              static_cast<char>(rng.next_below(256));
+          break;
+        case 1:  // delete a span
+          text.erase(rng.next_below(text.size()),
+                     1 + rng.next_below(8));
+          break;
+        case 2:  // duplicate a prefix of a line somewhere
+          text.insert(rng.next_below(text.size()),
+                      text.substr(0, rng.next_below(text.size())));
+          break;
+        case 3:  // truncate (lost 'end', mid-line cuts)
+          text.resize(rng.next_below(text.size()));
+          break;
+        case 4:  // splice in hostile bytes
+          text.insert(rng.next_below(text.size()), garbage);
+          break;
+        case 5:  // swap two lines' worth of bytes crudely
+          std::swap(text[rng.next_below(text.size())],
+                    text[rng.next_below(text.size())]);
+          break;
+      }
+    }
+    expect_parse_is_total(text);
+  }
+}
+
+TEST(SerializeFuzz, TruncatedBlockIsRejected) {
+  const std::string text = serialize(catalog::coloring(3));
+  // Cut before the trailing "end\n": a truncated block must not parse.
+  const std::string truncated = text.substr(0, text.size() - 4);
+  EXPECT_THROW((void)parse_problem(truncated), std::invalid_argument);
+  std::istringstream in(truncated);
+  EXPECT_THROW((void)parse_problems(in), std::invalid_argument);
+}
+
+TEST(SerializeFuzz, DuplicateDeclarationLinesAreRejected) {
+  for (const char* line :
+       {"lcl again", "topology directed-cycle", "inputs _", "outputs x y"}) {
+    std::string text = "lcl p\ntopology directed-cycle\ninputs _\noutputs a b\n";
+    text += line;
+    text += "\nnode _ a\nedge a b\nend\n";
+    EXPECT_THROW((void)parse_problem(text), std::invalid_argument)
+        << "duplicate line not rejected: " << line;
+  }
+}
+
+TEST(SerializeFuzz, AbsurdAlphabetDeclarationIsRejectedCheaply) {
+  // 100k labels on one 'outputs' line: must be rejected by the size cap,
+  // not accepted into an O(|outputs|^2) edge table downstream.
+  std::string text = "lcl bomb\ntopology directed-cycle\ninputs _\noutputs";
+  for (int i = 0; i < 100000; ++i) text += " l" + std::to_string(i);
+  text += "\nnode _ l0\nedge l0 l0\nend\n";
+  EXPECT_THROW((void)parse_problem(text), std::invalid_argument);
+}
+
+TEST(SerializeFuzz, DuplicateLabelWithinAlphabetIsRejected) {
+  const std::string text =
+      "lcl p\ntopology directed-cycle\ninputs _\noutputs a a\n"
+      "node _ a\nedge a a\nend\n";
+  EXPECT_THROW((void)parse_problem(text), std::invalid_argument);
+}
+
+TEST(SerializeFuzz, MultiProblemStreamSurvivesATrailingMalformedBlock) {
+  std::string text = serialize(catalog::coloring(3));
+  text += "\nlcl broken\ntopology directed-cycle\ninputs _\n";  // no end
+  std::istringstream in(text);
+  EXPECT_THROW((void)parse_problems(in), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lclpath

@@ -85,6 +85,41 @@ TEST(ThreadPool, TasksRunConcurrentlyWhenThreadsAllow) {
   b.get();
 }
 
+// The destructor drains the queue: tasks enqueued after an earlier task
+// threw (while the first task blocks the single worker) must still run,
+// and every future must resolve — the old clear-on-destruction behavior
+// abandoned them as broken promises.
+TEST(ThreadPool, DestructionDrainsQueuedTasksAfterAThrowingTask) {
+  std::promise<void> release_first;
+  std::shared_future<void> release(release_first.get_future());
+  std::atomic<int> ran{0};
+  std::future<void> blocker;
+  std::future<int> thrower;
+  std::vector<std::future<int>> later;
+  {
+    ThreadPool pool(1);
+    blocker = pool.submit([release]() { release.wait(); });
+    thrower = pool.submit([&ran]() -> int {
+      ++ran;
+      throw std::runtime_error("task failed");
+    });
+    for (int i = 0; i < 8; ++i) {
+      later.push_back(pool.submit([&ran, i]() {
+        ++ran;
+        return i;
+      }));
+    }
+    // Everything past the blocker is still queued when the destructor runs.
+    release_first.set_value();
+  }  // ~ThreadPool: must execute the throwing task AND all 8 queued after it
+  blocker.get();
+  EXPECT_THROW(thrower.get(), std::runtime_error);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(later[static_cast<std::size_t>(i)].get(), i);  // not broken_promise
+  }
+  EXPECT_EQ(ran.load(), 9);
+}
+
 TEST(ThreadPool, DestructionJoinsRunningTasks) {
   std::atomic<bool> started{false};
   std::atomic<bool> finished{false};
