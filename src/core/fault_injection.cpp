@@ -18,6 +18,14 @@ std::atomic<std::uint64_t> fire_at{0};
 std::atomic<Kind> armed_kind{Kind::kNone};
 std::atomic<bool> has_fired{false};
 
+// The I/O harness mirrors the checkpoint harness but counts per point:
+// one commit crosses write, fsync and rename sites, and the sweep arms
+// each family independently to hit every index of every family.
+std::atomic<std::uint64_t> io_counters[kNumIoPoints] = {};
+std::atomic<std::uint64_t> io_fire_at{0};
+std::atomic<IoPoint> io_armed{IoPoint::kNone};
+std::atomic<bool> io_has_fired{false};
+
 }  // namespace
 
 void arm(Kind kind, std::uint64_t at) {
@@ -48,6 +56,31 @@ void on_checkpoint() {
   if (kind == Kind::kBadAlloc) throw std::bad_alloc();
   throw CancelledError(CancelReason::kCancelled,
                        "fault injection: scripted cancellation");
+}
+
+void arm_io(IoPoint point, std::uint64_t at) {
+  io_armed.store(IoPoint::kNone, std::memory_order_relaxed);
+  for (auto& c : io_counters) c.store(0, std::memory_order_relaxed);
+  io_fire_at.store(at, std::memory_order_relaxed);
+  io_has_fired.store(false, std::memory_order_relaxed);
+  io_armed.store(point, std::memory_order_release);
+}
+
+void disarm_io() { io_armed.store(IoPoint::kNone, std::memory_order_relaxed); }
+
+std::uint64_t io_occurrences(IoPoint point) {
+  return io_counters[static_cast<std::size_t>(point)].load(std::memory_order_relaxed);
+}
+
+bool io_fired() { return io_has_fired.load(std::memory_order_relaxed); }
+
+bool io_should_fail(IoPoint point) {
+  const std::uint64_t index =
+      io_counters[static_cast<std::size_t>(point)].fetch_add(1, std::memory_order_relaxed);
+  if (io_armed.load(std::memory_order_acquire) != point) return false;
+  if (index != io_fire_at.load(std::memory_order_relaxed)) return false;
+  io_has_fired.store(true, std::memory_order_relaxed);
+  return true;
 }
 
 }  // namespace lclpath::fault

@@ -15,8 +15,17 @@
 // checkpoints is TSan-clean; exactly one checkpoint fires per arm()
 // (compare_exchange claims the index).
 //
+// A second, independent harness covers the persistent store's I/O paths
+// (src/store/): every write/fsync/rename during an atomic shard commit and
+// every shard load reports its fault point via io_should_fail(), and
+// arm_io() makes exactly the k-th occurrence of one point report failure.
+// The store layer turns that into the same StoreIoError / dirty-shard
+// handling a real ENOSPC, power cut, or torn read would produce — which is
+// what makes the crash-consistency sweep in tests/store_test.cpp
+// deterministic.
+//
 // Without the option this header still compiles: arm()/disarm() are
-// no-ops and checkpoints pay nothing.
+// no-ops, io_should_fail() is constant-false, and checkpoints pay nothing.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +37,17 @@ enum class Kind : std::uint8_t {
   kCancel,    ///< throw CancelledError{kCancelled} at the armed checkpoint
   kBadAlloc,  ///< throw std::bad_alloc at the armed checkpoint
 };
+
+/// Fault points in the store's shard I/O protocol (write-temp -> fsync ->
+/// atomic rename on the commit side, whole-file read on the load side).
+enum class IoPoint : std::uint8_t {
+  kNone,    ///< disarmed
+  kWrite,   ///< a write() of shard bytes into the temp file
+  kFsync,   ///< an fsync() of the temp file or its directory
+  kRename,  ///< the atomic rename(temp -> shard)
+  kLoad,    ///< a whole-shard read during load/reload
+};
+inline constexpr std::size_t kNumIoPoints = 5;
 
 #ifdef LCLPATH_FAULT_INJECTION
 
@@ -54,6 +74,27 @@ bool fired();
 /// counter hits the armed index.
 void on_checkpoint();
 
+/// Arms the I/O harness: the `at`-th occurrence (0-based) of `point`
+/// observed after this call reports failure. Resets all per-point
+/// occurrence counters. One point armed at a time; arm between commits,
+/// not while one is in flight.
+void arm_io(IoPoint point, std::uint64_t at);
+
+/// Disarms the I/O harness without resetting the occurrence counters
+/// (io_occurrences() stays meaningful for sizing the next sweep).
+void disarm_io();
+
+/// Occurrences of `point` observed since the last arm_io().
+std::uint64_t io_occurrences(IoPoint point);
+
+/// True iff the armed I/O fault has fired since arm_io().
+bool io_fired();
+
+/// Called by the store's I/O layer at each fault point. Returns true when
+/// the armed failure should fire — exactly once per arm_io(); the caller
+/// then behaves as if the syscall failed.
+bool io_should_fail(IoPoint point);
+
 #else
 
 constexpr bool compiled_in() { return false; }
@@ -62,6 +103,11 @@ inline void disarm() {}
 inline std::uint64_t checkpoints() { return 0; }
 inline bool fired() { return false; }
 inline void on_checkpoint() {}
+inline void arm_io(IoPoint, std::uint64_t) {}
+inline void disarm_io() {}
+inline std::uint64_t io_occurrences(IoPoint) { return 0; }
+inline bool io_fired() { return false; }
+inline bool io_should_fail(IoPoint) { return false; }
 
 #endif
 

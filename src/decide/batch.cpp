@@ -40,6 +40,18 @@ BatchErrorKind kind_of(const CancelledError& e) {
 
 }  // namespace
 
+std::string cache_identity_suffix(LinearGapEngine engine, CertificateMode mode) {
+  std::string suffix = engine == LinearGapEngine::kPairwise
+                           ? "\nlinear-engine pairwise"
+                           : "\nlinear-engine factorized";
+  switch (mode) {
+    case CertificateMode::kAuto: suffix += "\ncertificate auto"; break;
+    case CertificateMode::kDense: suffix += "\ncertificate dense"; break;
+    case CertificateMode::kLazy: suffix += "\ncertificate lazy"; break;
+  }
+  return suffix;
+}
+
 const std::string& BatchEntry::error() const {
   static const std::string kEmpty;
   return outcome && outcome->error ? outcome->error->message : kEmpty;
@@ -134,15 +146,8 @@ std::vector<BatchEntry> classify_batch(std::span<const PairwiseProblem> problems
   // engine's certificates — nor a dense GB-scale certificate when it
   // asked for the lazy backend (or vice versa).
   const bool need_keys = options.dedup || options.cache != nullptr;
-  std::string engine_tag =
-      options.classify.linear_engine == LinearGapEngine::kPairwise
-          ? "\nlinear-engine pairwise"
-          : "\nlinear-engine factorized";
-  switch (options.classify.certificate_mode) {
-    case CertificateMode::kAuto: engine_tag += "\ncertificate auto"; break;
-    case CertificateMode::kDense: engine_tag += "\ncertificate dense"; break;
-    case CertificateMode::kLazy: engine_tag += "\ncertificate lazy"; break;
-  }
+  const std::string engine_tag = cache_identity_suffix(
+      options.classify.linear_engine, options.classify.certificate_mode);
   std::vector<std::string> keys(need_keys ? n : 0);
   std::vector<std::uint64_t> hashes(options.cache != nullptr ? n : 0);
   for (std::size_t i = 0; i < n && need_keys; ++i) {

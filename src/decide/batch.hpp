@@ -68,6 +68,15 @@ struct BatchError {
   std::string message;
 };
 
+/// The configuration suffix appended to canonical_key() to form a cache
+/// identity: every (engine, certificate mode) configuration agrees on the
+/// complexity class, but a caller sharing one cache (or one persistent
+/// store — src/store/ serializes exactly this identity) across
+/// configurations must not be served the other engine's certificates.
+/// classify_batch and the result store both build their keys through this
+/// one function, so the two can never drift apart.
+std::string cache_identity_suffix(LinearGapEngine engine, CertificateMode mode);
+
 /// The outcome of classifying one problem: a ClassifiedProblem, or the
 /// structured error classify() failed with. Shared (immutable once
 /// published) between duplicate batch entries and cache hits.

@@ -7,7 +7,26 @@
 
 namespace lclpath {
 
+ClassifiedProblem ClassifiedProblem::restore(PairwiseProblem problem,
+                                             ComplexityClass complexity) {
+  ClassifiedProblem result;
+  result.problem_ = std::make_unique<PairwiseProblem>(std::move(problem));
+  result.complexity_ = complexity;
+  // A restored kUnsolvable has no counterexample (not persisted); the
+  // solvable flag still matches the class so summary() stays truthful.
+  result.solvability_.solvable = complexity != ComplexityClass::kUnsolvable;
+  return result;
+}
+
 std::unique_ptr<LocalAlgorithm> ClassifiedProblem::synthesize() const {
+  if (restored() && (complexity_ == ComplexityClass::kConstant ||
+                     complexity_ == ComplexityClass::kLogStar)) {
+    // The certificates back the O(1)/log* constructions and are not
+    // persisted; kLinear falls through — gather-all needs only the problem.
+    throw std::logic_error(
+        "synthesize: result was restored from a catalog store without "
+        "certificates; re-classify the problem to synthesize");
+  }
   switch (complexity_) {
     case ComplexityClass::kUnsolvable:
       throw std::logic_error("synthesize: problem is unsolvable (" +
@@ -29,8 +48,12 @@ std::unique_ptr<LocalAlgorithm> ClassifiedProblem::synthesize() const {
 std::string ClassifiedProblem::summary() const {
   std::ostringstream out;
   out << problem_->name() << " on " << lclpath::to_string(problem_->topology()) << ": "
-      << lclpath::to_string(complexity_) << " (monoid " << monoid_->size()
-      << " elements)";
+      << lclpath::to_string(complexity_);
+  if (restored()) {
+    out << " (restored from store)";
+  } else {
+    out << " (monoid " << monoid_->size() << " elements)";
+  }
   if (!solvability_.solvable && solvability_.counterexample) {
     out << "; counterexample inputs: "
         << word_to_string(problem_->inputs(), *solvability_.counterexample);

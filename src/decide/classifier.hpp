@@ -74,6 +74,20 @@ struct ClassifyOptions {
 /// can outlive the inputs of classify().
 class ClassifiedProblem {
  public:
+  /// Rebuilds a result from a persisted catalog record (src/store/): the
+  /// problem plus its complexity class, with no monoid or certificates —
+  /// those are recomputable and deliberately not serialized. A restored
+  /// result answers lookups (complexity(), problem(), summary()) exactly
+  /// like a fresh one, which is what lets a store warm-start the
+  /// BatchCache without re-running any decider; it cannot synthesize()
+  /// the sub-linear algorithms (that throws std::logic_error directing
+  /// the caller to re-classify) and has no monoid() — check restored()
+  /// before touching certificate-level accessors.
+  static ClassifiedProblem restore(PairwiseProblem problem, ComplexityClass complexity);
+
+  /// True for results rebuilt by restore() (no monoid/certificates).
+  bool restored() const { return monoid_ == nullptr; }
+
   ComplexityClass complexity() const { return complexity_; }
   const SolvabilityReport& solvability() const { return solvability_; }
   const LinearGapCertificate& linear_certificate() const { return linear_; }
@@ -84,8 +98,9 @@ class ClassifiedProblem {
   /// past this ClassifiedProblem or compare pointers to observe sharing.
   const std::shared_ptr<const Monoid>& monoid_ptr() const { return monoid_; }
   const PairwiseProblem& problem() const { return *problem_; }
-  std::size_t monoid_size() const { return monoid_->size(); }
-  std::size_t ell_pump() const { return monoid_->ell_pump(); }
+  /// 0 for restored() results (the monoid is not persisted).
+  std::size_t monoid_size() const { return monoid_ ? monoid_->size() : 0; }
+  std::size_t ell_pump() const { return monoid_ ? monoid_->ell_pump() : 0; }
 
   /// An asymptotically optimal executable algorithm for the class, on the
   /// problem's own topology (all four are synthesized):
